@@ -1,0 +1,35 @@
+"""Ablations: operator cache, codegen, lazy materialization (DESIGN.md §5)."""
+
+import pytest
+
+from repro.bench.harness import warm_table
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.workloads.sequences import fig7_sequence
+
+WORKLOAD = fig7_sequence(
+    num_attrs=60, num_rows=30_000, num_queries=25, rng=23
+)
+
+VARIANTS = {
+    "full": EngineConfig(),
+    "no_operator_cache": EngineConfig(operator_cache=False),
+    "no_codegen": EngineConfig(use_codegen=False),
+    "eager_materialization": EngineConfig(materialization="eager"),
+    "no_materialization": EngineConfig(materialization="never"),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_ablation_sequence(benchmark, variant):
+    config = VARIANTS[variant]
+
+    def run():
+        table = WORKLOAD.make_table(rng=1)
+        warm_table(table)
+        engine = H2OEngine(table, config)
+        for query in WORKLOAD.queries:
+            engine.execute(query)
+        return engine
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)

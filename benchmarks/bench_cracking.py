@@ -1,0 +1,55 @@
+"""Extension: adaptive indexing (database cracking) vs full scans.
+
+Steady-state behaviour after the index has adapted: a two-sided range
+costs two boundary cracks over small pieces plus one contiguous slice,
+versus a full-column predicate scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import warm_table
+from repro.baselines import ColumnStoreEngine
+from repro.config import EngineConfig
+from repro.extensions import CrackingColumnStoreEngine
+from repro.storage.generator import generate_table
+
+ROWS = 200_000
+
+
+def _workload(count=30, seed=21):
+    rng = np.random.default_rng(seed)
+    thresholds = rng.integers(-(10**9), 10**9, size=count)
+    return [
+        f"SELECT sum(a1 + a2) FROM r WHERE a3 BETWEEN {t} AND {t + 10**7}"
+        for t in thresholds
+    ]
+
+
+@pytest.fixture(scope="module")
+def warmed_cracking_engine():
+    table = generate_table("r", 4, ROWS, rng=2)
+    warm_table(table)
+    engine = CrackingColumnStoreEngine(table)
+    for sql in _workload():  # adapt the index first
+        engine.execute(sql)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def scan_engine():
+    table = generate_table("r", 4, ROWS, rng=2)
+    warm_table(table)
+    return ColumnStoreEngine(table, EngineConfig(use_codegen=False))
+
+
+def test_cracking_steady_state(benchmark, warmed_cracking_engine):
+    query = _workload(count=1, seed=99)[0]
+    warmed_cracking_engine.execute(query)  # crack this range's bounds
+    benchmark(warmed_cracking_engine.execute, query)
+
+
+def test_scan_baseline(benchmark, scan_engine):
+    query = _workload(count=1, seed=99)[0]
+    scan_engine.execute(query)
+    benchmark(scan_engine.execute, query)

@@ -1,0 +1,43 @@
+"""Fig. 1 — DBMS-C vs DBMS-R at low/high projectivity (selectivity 40%).
+
+Expected shape: the column engine wins the low-projectivity point, the
+row engine the high-projectivity point.
+"""
+
+import pytest
+
+from repro.baselines import ColumnStoreEngine, RowStoreEngine
+from repro.bench.harness import warm_table
+from repro.storage.generator import generate_table
+from repro.workloads.microbench import aggregation_query
+
+ROWS = 40_000
+ATTRS = 120
+
+
+def _query(fraction):
+    count = max(1, int(fraction * ATTRS))
+    attrs = [f"a{i}" for i in range(1, count + 1)]
+    return aggregation_query(attrs, where_attrs=attrs, selectivity=0.4)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    column = ColumnStoreEngine(
+        generate_table("r", ATTRS, ROWS, rng=1, initial_layout="column")
+    )
+    row = RowStoreEngine(
+        generate_table("r", ATTRS, ROWS, rng=1, initial_layout="column")
+    )
+    warm_table(column.table)
+    warm_table(row.table)
+    return {"column": column, "row": row}
+
+
+@pytest.mark.parametrize("engine_name", ["column", "row"])
+@pytest.mark.parametrize("fraction", [0.05, 0.8])
+def test_fig1_point(benchmark, engines, engine_name, fraction):
+    engine = engines[engine_name]
+    query = _query(fraction)
+    engine.execute(query)  # warm the operator cache
+    benchmark(engine.execute, query)

@@ -1,0 +1,44 @@
+"""Fig. 10 — the three layouts under each query template (20 attrs)."""
+
+import pytest
+
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql.analyzer import analyze_query
+from repro.workloads.microbench import (
+    aggregation_query,
+    arithmetic_query,
+    projection_query,
+)
+
+ACCESSED = [f"a{i}" for i in range(1, 21)]
+
+TEMPLATES = {
+    "projection": projection_query(ACCESSED),
+    "aggregation": aggregation_query(ACCESSED),
+    "arithmetic": arithmetic_query(ACCESSED),
+    "agg_filtered": aggregation_query(
+        ACCESSED[:-1], where_attrs=[ACCESSED[-1]], selectivity=0.4
+    ),
+}
+
+
+def _plan(table, layout_name, info):
+    if layout_name == "row":
+        row = [l for l in table.layouts if l.width == table.schema.width]
+        return AccessPlan(ExecutionStrategy.FUSED, (row[0],))
+    if layout_name == "group":
+        group = table.find_group(set(ACCESSED))
+        return AccessPlan(ExecutionStrategy.FUSED, (group,))
+    return AccessPlan(
+        ExecutionStrategy.LATE, table.narrowest_cover(info.all_attrs)
+    )
+
+
+@pytest.mark.parametrize("template", list(TEMPLATES))
+@pytest.mark.parametrize("layout", ["row", "group", "column"])
+def test_fig10_point(benchmark, bench_table, executor, template, layout):
+    query = TEMPLATES[template]
+    info = analyze_query(query, bench_table.schema)
+    plan = _plan(bench_table, layout, info)
+    executor.run_plan(info, plan)  # warm codegen
+    benchmark(executor.run_plan, info, plan)

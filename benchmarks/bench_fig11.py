@@ -1,0 +1,37 @@
+"""Fig. 11 — whole 20-attribute group vs a perfectly tailored group."""
+
+import pytest
+
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql.analyzer import analyze_query
+from repro.storage.stitcher import stitch_group
+from repro.workloads.microbench import aggregation_query
+
+USEFUL = 5  # of the 20-attribute group
+
+
+@pytest.fixture(scope="module")
+def case(bench_table):
+    group = bench_table.find_group({f"a{i}" for i in range(1, 21)})
+    attrs = [f"a{i}" for i in range(1, USEFUL)]
+    where = f"a{USEFUL}"
+    query = aggregation_query(attrs, where_attrs=[where], selectivity=0.5)
+    info = analyze_query(query, bench_table.schema)
+    tailored, _ = stitch_group(
+        bench_table.layouts, info.all_attrs, bench_table.schema
+    )
+    return info, group, tailored
+
+
+def test_fig11_whole_group(benchmark, case, executor):
+    info, group, _tailored = case
+    plan = AccessPlan(ExecutionStrategy.FUSED, (group,))
+    executor.run_plan(info, plan)
+    benchmark(executor.run_plan, info, plan)
+
+
+def test_fig11_perfect_group(benchmark, case, executor):
+    info, _group, tailored = case
+    plan = AccessPlan(ExecutionStrategy.FUSED, (tailored,))
+    executor.run_plan(info, plan)
+    benchmark(executor.run_plan, info, plan)

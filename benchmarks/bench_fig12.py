@@ -1,0 +1,38 @@
+"""Fig. 12 — one group vs the same attributes split across five."""
+
+import pytest
+
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql.analyzer import analyze_query
+from repro.storage.stitcher import stitch_group
+from repro.workloads.microbench import aggregation_query
+
+ATTRS = [f"a{i}" for i in range(1, 26)]
+
+
+@pytest.fixture(scope="module")
+def plans(bench_table):
+    query = aggregation_query(
+        ATTRS[:-1], where_attrs=[ATTRS[-1]], selectivity=0.5
+    )
+    info = analyze_query(query, bench_table.schema)
+    single, _ = stitch_group(bench_table.layouts, ATTRS, bench_table.schema)
+    five = []
+    for start in range(0, 25, 5):
+        group, _ = stitch_group(
+            bench_table.layouts, ATTRS[start : start + 5],
+            bench_table.schema,
+        )
+        five.append(group)
+    return info, {
+        "1_group": AccessPlan(ExecutionStrategy.FUSED, (single,)),
+        "5_groups": AccessPlan(ExecutionStrategy.FUSED, tuple(five)),
+    }
+
+
+@pytest.mark.parametrize("variant", ["1_group", "5_groups"])
+def test_fig12_point(benchmark, plans, executor, variant):
+    info, plan_map = plans
+    plan = plan_map[variant]
+    executor.run_plan(info, plan)
+    benchmark(executor.run_plan, info, plan)

@@ -1,0 +1,46 @@
+"""Fig. 13 — online vs offline reorganization (Q1: row-major source)."""
+
+import pytest
+
+from repro.bench.harness import warm_table
+from repro.config import EngineConfig
+from repro.core.reorganizer import Reorganizer
+from repro.execution.executor import Executor
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql.analyzer import analyze_query
+from repro.storage.generator import generate_table
+from repro.workloads.microbench import aggregation_query
+
+ROWS = 50_000
+GROUP_ATTRS = [f"a{i}" for i in range(1, 11)]
+QUERY = aggregation_query(GROUP_ATTRS, func="sum")
+
+
+@pytest.fixture(scope="module")
+def source_table():
+    table = generate_table("r", 60, ROWS, rng=41, initial_layout="row")
+    warm_table(table)
+    return table
+
+
+def test_fig13_offline(benchmark, source_table):
+    reorganizer = Reorganizer()
+    executor = Executor(EngineConfig())
+    info = analyze_query(QUERY, source_table.schema)
+
+    def run():
+        outcome = reorganizer.offline(source_table, GROUP_ATTRS)
+        plan = AccessPlan(ExecutionStrategy.FUSED, (outcome.group,))
+        return executor.run_plan(info, plan)
+
+    benchmark(run)
+
+
+def test_fig13_online(benchmark, source_table):
+    reorganizer = Reorganizer()
+    info = analyze_query(QUERY, source_table.schema)
+
+    def run():
+        return reorganizer.online(source_table, GROUP_ATTRS, info)
+
+    benchmark(run)

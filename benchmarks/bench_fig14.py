@@ -1,0 +1,53 @@
+"""Fig. 14 — generic (interpreted) operator vs generated code.
+
+The generated path runs with the operator cache disabled, so template
+instantiation + compilation is paid on every measured iteration, as the
+paper charges its external-compiler runs.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.execution.executor import Executor
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql.analyzer import analyze_query
+from repro.workloads.microbench import aggregation_query, arithmetic_query
+
+ACCESSED = [f"a{i}" for i in range(1, 21)]
+
+QUERIES = {
+    "aggregation": aggregation_query(
+        ACCESSED[:-1], where_attrs=[ACCESSED[-1]], selectivity=0.4
+    ),
+    "arithmetic": arithmetic_query(
+        ACCESSED[:-1], where_attrs=[ACCESSED[-1]], selectivity=0.4
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def generated_executor():
+    return Executor(EngineConfig(operator_cache=False))
+
+
+def _group_plan(table, info):
+    group = table.find_group({f"a{i}" for i in range(1, 21)})
+    return AccessPlan(ExecutionStrategy.FUSED, (group,))
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+def test_fig14_generic(
+    benchmark, bench_table, interpreted_executor, query_name
+):
+    info = analyze_query(QUERIES[query_name], bench_table.schema)
+    plan = _group_plan(bench_table, info)
+    benchmark(interpreted_executor.run_plan, info, plan)
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+def test_fig14_generated(
+    benchmark, bench_table, generated_executor, query_name
+):
+    info = analyze_query(QUERIES[query_name], bench_table.schema)
+    plan = _group_plan(bench_table, info)
+    benchmark(generated_executor.run_plan, info, plan)

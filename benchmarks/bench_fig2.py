@@ -1,0 +1,37 @@
+"""Fig. 2(a–c) — projectivity 20%, selectivities 100% / 40% / 1%."""
+
+import pytest
+
+from repro.baselines import ColumnStoreEngine, RowStoreEngine
+from repro.bench.harness import warm_table
+from repro.storage.generator import generate_table
+from repro.workloads.microbench import aggregation_query
+
+ROWS = 40_000
+ATTRS = 120
+ACCESSED = [f"a{i}" for i in range(1, 25)]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    column = ColumnStoreEngine(
+        generate_table("r", ATTRS, ROWS, rng=2, initial_layout="column")
+    )
+    row = RowStoreEngine(
+        generate_table("r", ATTRS, ROWS, rng=2, initial_layout="column")
+    )
+    warm_table(column.table)
+    warm_table(row.table)
+    return {"column": column, "row": row}
+
+
+@pytest.mark.parametrize("engine_name", ["column", "row"])
+@pytest.mark.parametrize("selectivity", [None, 0.4, 0.01])
+def test_fig2_point(benchmark, engines, engine_name, selectivity):
+    engine = engines[engine_name]
+    where = ACCESSED if selectivity is not None else ()
+    query = aggregation_query(
+        ACCESSED, where_attrs=where, selectivity=selectivity
+    )
+    engine.execute(query)
+    benchmark(engine.execute, query)

@@ -1,0 +1,38 @@
+"""Fig. 7 — one adaptive sequence per engine (reduced to 30 queries).
+
+Measures the cumulative cost of running the recurring-pattern workload
+through each engine; expected ordering per round matches Table 1.
+"""
+
+import pytest
+
+from repro.baselines import ColumnStoreEngine, OptimalEngine, RowStoreEngine
+from repro.bench.harness import warm_table
+from repro.core.engine import H2OEngine
+from repro.workloads.sequences import fig7_sequence
+
+WORKLOAD = fig7_sequence(
+    num_attrs=60, num_rows=40_000, num_queries=30, rng=7
+)
+
+ENGINES = {
+    "h2o": H2OEngine,
+    "column": ColumnStoreEngine,
+    "row": RowStoreEngine,
+    "optimal": OptimalEngine,
+}
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_fig7_sequence(benchmark, engine_name):
+    factory = ENGINES[engine_name]
+
+    def run():
+        table = WORKLOAD.make_table(rng=1)
+        warm_table(table)
+        engine = factory(table)
+        for query in WORKLOAD.queries:
+            engine.execute(query)
+        return engine
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)

@@ -1,0 +1,39 @@
+"""Fig. 8 — H2O vs AutoPart on the SkyServer surrogate (reduced)."""
+
+import pytest
+
+from repro.baselines import AutoPartEngine
+from repro.bench.harness import warm_table
+from repro.core.engine import H2OEngine
+from repro.workloads.skyserver import skyserver_workload
+
+WORKLOAD = skyserver_workload(num_rows=20_000, num_queries=60, rng=13)
+
+
+def test_fig8_autopart_total(benchmark):
+    """Offline fit + physical partitioning + execution."""
+
+    def run():
+        table = WORKLOAD.make_table(rng=2)
+        warm_table(table)
+        engine = AutoPartEngine(table, WORKLOAD.queries)
+        engine.prepare()
+        for query in WORKLOAD.queries:
+            engine.execute(query)
+        return engine
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_fig8_h2o_total(benchmark):
+    """Fully online adaptation over the same queries."""
+
+    def run():
+        table = WORKLOAD.make_table(rng=2)
+        warm_table(table)
+        engine = H2OEngine(table)
+        for query in WORKLOAD.queries:
+            engine.execute(query)
+        return engine
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)

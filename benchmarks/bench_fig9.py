@@ -1,0 +1,32 @@
+"""Fig. 9 — static vs dynamic adaptation window under a workload shift."""
+
+import pytest
+
+from repro.bench.harness import warm_table
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.workloads.sequences import fig9_sequence
+
+WORKLOAD = fig9_sequence(num_attrs=80, num_rows=30_000, rng=5)
+
+CONFIGS = {
+    "static": EngineConfig(
+        window_size=30, min_window=30, max_window=30, dynamic_window=False
+    ),
+    "dynamic": EngineConfig(window_size=30, min_window=8, max_window=60),
+}
+
+
+@pytest.mark.parametrize("variant", list(CONFIGS))
+def test_fig9_window_variant(benchmark, variant):
+    config = CONFIGS[variant]
+
+    def run():
+        table = WORKLOAD.make_table(rng=3)
+        warm_table(table)
+        engine = H2OEngine(table, config)
+        for query in WORKLOAD.queries:
+            engine.execute(query)
+        return engine
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)

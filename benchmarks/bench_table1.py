@@ -1,0 +1,32 @@
+"""Table 1 — cumulative execution time of the Fig. 7 sequence.
+
+The benchmark measures the H2O engine's cumulative run; the recorded
+comparison against row/column/optimal (the actual Table 1 rows) is
+produced by ``python -m repro.bench table1`` and recorded in
+EXPERIMENTS.md.  A correctness assertion checks that H2O's answers match
+the column baseline's on every query of the sequence.
+"""
+
+from repro.baselines import ColumnStoreEngine
+from repro.bench.harness import warm_table
+from repro.core.engine import H2OEngine
+from repro.workloads.sequences import fig7_sequence
+
+WORKLOAD = fig7_sequence(
+    num_attrs=60, num_rows=40_000, num_queries=30, rng=17
+)
+
+
+def test_table1_h2o_cumulative(benchmark):
+    def run():
+        table = WORKLOAD.make_table(rng=1)
+        warm_table(table)
+        engine = H2OEngine(table)
+        return [engine.execute(q).result for q in WORKLOAD.queries]
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+
+    reference_table = WORKLOAD.make_table(rng=1)
+    reference = ColumnStoreEngine(reference_table)
+    for query, mine in zip(WORKLOAD.queries, results):
+        assert mine.allclose(reference.execute(query).result)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+These benchmarks exercise the same code paths as the full experiment
+drivers (``python -m repro.bench <id>``) at a reduced, fixed size so the
+whole suite runs in a few minutes.  The full paper-style sweeps and the
+recorded results live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.harness import warm_table
+from repro.config import EngineConfig
+from repro.execution.executor import Executor
+from repro.storage.generator import generate_table
+from repro.storage.stitcher import stitch_group
+
+ROWS = 60_000
+ATTRS = 100
+
+
+@pytest.fixture(scope="session")
+def bench_table():
+    """Column-major table + row layout + a 20-attribute group."""
+    table = generate_table(
+        "r", ATTRS, ROWS, rng=101, initial_layout="column"
+    )
+    row, _ = stitch_group(
+        table.layouts, table.schema.names, table.schema, full_width=True
+    )
+    table.add_layout(row)
+    group, _ = stitch_group(
+        table.layouts,
+        tuple(f"a{i}" for i in range(1, 21)),
+        table.schema,
+    )
+    table.add_layout(group)
+    warm_table(table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def executor():
+    return Executor(EngineConfig())
+
+
+@pytest.fixture(scope="session")
+def interpreted_executor():
+    return Executor(EngineConfig(use_codegen=False))

@@ -1,0 +1,58 @@
+"""SkyServer-style analysis: online H2O vs the offline AutoPart tool.
+
+The Fig. 8 scenario: a 128-attribute PhotoObjAll-style table serves 150
+template-clustered queries.  AutoPart is given the whole workload up
+front, computes one vertical partitioning, applies it (that costs time),
+then executes.  H2O starts from the raw row-major table and adapts as
+queries arrive.
+
+Run:  python examples/skyserver_analysis.py
+"""
+
+from repro import AutoPartEngine, H2OEngine
+from repro.bench.harness import warm_table
+from repro.workloads import skyserver_workload
+
+workload = skyserver_workload(num_rows=60_000, num_queries=150, rng=13)
+print(f"workload: {workload.description}")
+print()
+
+# --- AutoPart: perfect workload knowledge, one static answer ------------
+table = workload.make_table(rng=2)
+warm_table(table)
+autopart = AutoPartEngine(table, workload.queries)
+partitioning = autopart.prepare()
+print(
+    f"AutoPart chose {len(partitioning.groups)} fragments, e.g.: "
+    + ", ".join(
+        "{" + ",".join(sorted(g)[:4]) + ("...}" if len(g) > 4 else "}")
+        for g in list(partitioning.groups)[:3]
+    )
+)
+autopart_exec = sum(
+    autopart.execute(q).seconds for q in workload.queries
+)
+autopart_total = autopart_exec + autopart.layout_creation_seconds
+
+# --- H2O: no workload knowledge, adapts per query ------------------------
+table2 = workload.make_table(rng=2)
+warm_table(table2)
+h2o = H2OEngine(table2)
+h2o_total = sum(h2o.execute(q).seconds for q in workload.queries)
+h2o_creation = h2o.layout_creation_seconds()
+
+print()
+print(f"{'engine':10s} {'execution':>10s} {'creation':>10s} {'total':>10s}")
+print(
+    f"{'AutoPart':10s} {autopart_exec:9.3f}s "
+    f"{autopart.layout_creation_seconds:9.3f}s {autopart_total:9.3f}s"
+)
+print(
+    f"{'H2O':10s} {h2o_total - h2o_creation:9.3f}s "
+    f"{h2o_creation:9.3f}s {h2o_total:9.3f}s"
+)
+print()
+print(
+    f"H2O built {len(h2o.manager.creation_log)} groups online, "
+    f"driven by {len(workload.pattern_histogram())} observed patterns"
+)

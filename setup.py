@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools lacks bdist_wheel.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) on machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

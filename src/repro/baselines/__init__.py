@@ -1,0 +1,28 @@
+"""Baseline engines the paper compares H2O against.
+
+- :class:`RowStoreEngine` / :class:`ColumnStoreEngine` — static-layout
+  engines sharing H2O's executor and code generator, so comparisons
+  "purely reflect the differences in data layouts and access patterns"
+  (paper section 4.1).  They also stand in for the commercial DBMS-R /
+  DBMS-C of Figs. 1–2 (see DESIGN.md substitutions).
+- :class:`OptimalEngine` — the oracle: a perfectly tailored column
+  group per query, built outside the measured time (Fig. 7's "Optimal").
+- :mod:`~repro.baselines.autopart` — a from-scratch implementation of
+  the AutoPart offline vertical partitioner [41], the Fig. 8 comparator.
+"""
+
+from .base import StaticEngine, StaticReport
+from .row_engine import RowStoreEngine
+from .column_engine import ColumnStoreEngine
+from .optimal import OptimalEngine
+from .autopart import AutoPartEngine, AutoPartPartitioner
+
+__all__ = [
+    "StaticEngine",
+    "StaticReport",
+    "RowStoreEngine",
+    "ColumnStoreEngine",
+    "OptimalEngine",
+    "AutoPartEngine",
+    "AutoPartPartitioner",
+]

@@ -1,0 +1,92 @@
+"""Shared machinery for the static-layout baseline engines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..config import EngineConfig
+from ..errors import ExecutionError
+from ..execution.executor import Executor
+from ..execution.result import QueryResult
+from ..execution.strategies import AccessPlan, ExecutionStrategy
+from ..sql.analyzer import analyze_query
+from ..sql.parser import parse_query
+from ..sql.query import Query
+from ..storage.relation import Table
+
+
+@dataclass
+class StaticReport:
+    """Per-query record for a baseline engine (mirrors QueryReport)."""
+
+    index: int
+    query: Query
+    result: QueryResult
+    seconds: float
+    plan: str = ""
+    strategy: str = ""
+    used_codegen: bool = False
+    codegen_cache_hit: bool = False
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+class StaticEngine:
+    """A fixed-layout, fixed-strategy engine built on H2O's executor.
+
+    Subclasses pin the strategy; the layouts are whatever the table was
+    created with and never change.  Code generation and the operator
+    cache are on by default so that the only difference from H2O is the
+    absence of adaptation — the paper's experimental control.
+    """
+
+    #: Subclasses set the forced execution strategy.
+    strategy: ExecutionStrategy = ExecutionStrategy.FUSED
+    name: str = "static"
+
+    def __init__(
+        self, table: Table, config: Optional[EngineConfig] = None
+    ) -> None:
+        self.table = table
+        self.config = config or EngineConfig()
+        self.executor = Executor(self.config)
+        self.reports: List[StaticReport] = []
+
+    def plan_for(self, info) -> AccessPlan:
+        """The engine's (only) access plan for a query."""
+        layouts = self.table.covering_layouts(info.all_attrs)
+        return AccessPlan(strategy=self.strategy, layouts=layouts)
+
+    def execute(self, query: Union[Query, str]) -> StaticReport:
+        started = time.perf_counter()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.table != self.table.name:
+            raise ExecutionError(
+                f"engine serves table {self.table.name!r}, query targets "
+                f"{query.table!r}"
+            )
+        info = analyze_query(query, self.table.schema)
+        plan = self.plan_for(info)
+        result, stats = self.executor.run_plan(info, plan)
+        seconds = time.perf_counter() - started
+        report = StaticReport(
+            index=len(self.reports),
+            query=query,
+            result=result,
+            seconds=seconds,
+            plan=stats.plan,
+            strategy=stats.strategy.value,
+            used_codegen=stats.used_codegen,
+            codegen_cache_hit=stats.codegen_cache_hit,
+            phases={"codegen": stats.codegen_seconds},
+        )
+        self.reports.append(report)
+        return report
+
+    def run_sequence(self, queries) -> List[StaticReport]:
+        return [self.execute(q) for q in queries]
+
+    def cumulative_seconds(self) -> float:
+        return sum(report.seconds for report in self.reports)

@@ -1,0 +1,50 @@
+"""The static row-store baseline (NSM; "DBMS-R" stand-in)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import EngineConfig
+from ..execution.strategies import ExecutionStrategy
+from ..storage.layout import LayoutKind
+from ..storage.relation import Table
+from ..storage.stitcher import stitch_group
+from .base import StaticEngine
+
+
+class RowStoreEngine(StaticEngine):
+    """Fixed row-major layout + volcano-style fused execution.
+
+    If the table is not already stored row-major, construction converts
+    it (outside any measured query time — a static system is *born*
+    with its layout).
+    """
+
+    strategy = ExecutionStrategy.FUSED
+    name = "row-store"
+
+    def __init__(
+        self, table: Table, config: Optional[EngineConfig] = None
+    ) -> None:
+        table = _ensure_row_major(table)
+        super().__init__(table, config)
+
+
+def _ensure_row_major(table: Table) -> Table:
+    """A table equivalent to ``table`` stored purely row-major."""
+    existing = [
+        layout
+        for layout in table.layouts
+        if layout.kind is LayoutKind.ROW
+    ]
+    if existing and len(table.layouts) == 1:
+        return table
+    if existing:
+        return Table(table.name, table.schema, [existing[0]])
+    row, _stats = stitch_group(
+        table.layouts,
+        table.schema.names,
+        table.schema,
+        full_width=True,
+    )
+    return Table(table.name, table.schema, [row])

@@ -1,0 +1,30 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Each experiment in :mod:`repro.bench.experiments` regenerates one
+table/figure as a text table (the same rows/series the paper plots).
+Run them from the command line::
+
+    python -m repro.bench --list
+    python -m repro.bench fig7 table1
+    python -m repro.bench all
+
+Scale is controlled by the ``H2O_SCALE`` environment variable (default
+1.0 ≈ laptop scale; the paper's absolute sizes are ~500× larger, so
+absolute times differ — the *shapes* are what reproduce).
+"""
+
+from .harness import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+    warm_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "warm_table",
+]

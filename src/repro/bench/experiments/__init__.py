@@ -1,0 +1,17 @@
+"""Per-figure experiment drivers; importing this package registers all
+experiments with the harness registry."""
+
+from . import (  # noqa: F401
+    fig1,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    ablations,
+    sensitivity,
+)

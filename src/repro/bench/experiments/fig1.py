@@ -1,0 +1,93 @@
+"""Fig. 1 — DBMS-C vs DBMS-R, select-project-aggregate, selectivity 40%.
+
+The paper's motivating experiment: a 250-attribute relation; queries
+aggregate a growing fraction of the attributes and filter on the same
+attributes with total selectivity held at 40%.  The column engine must
+win at low projectivity and the row engine past a crossover.
+
+DBMS-C / DBMS-R are commercial systems we substitute with our own
+column-store / row-store engines (DESIGN.md); the paper itself makes the
+same substitution for all later experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...baselines import ColumnStoreEngine, RowStoreEngine
+from ...storage.generator import generate_table
+from ...workloads.microbench import projectivity_sweep
+from ..harness import ExperimentResult, register
+from .common import rows, run_engine_on_sequence
+
+#: Attribute-fraction sweep used by Figs. 1 and 2 (paper: 2%..100%).
+FRACTIONS = (0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_projectivity_experiment(
+    experiment_id: str,
+    title: str,
+    selectivity: Optional[float],
+    num_attrs: int = 250,
+    base_rows: int = 60_000,
+    template: str = "aggregation",
+    fractions: Sequence[float] = FRACTIONS,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Shared driver for Fig. 1 and Fig. 2(a–c)."""
+    num_rows = rows(base_rows)
+    queries = projectivity_sweep(
+        num_attrs,
+        fractions,
+        template=template,
+        selectivity=selectivity,
+        rng=seed,
+    )
+
+    def make_table():
+        return generate_table(
+            "r", num_attrs, num_rows, rng=1, initial_layout="column"
+        )
+
+    col_seconds, _ = run_engine_on_sequence(
+        ColumnStoreEngine, make_table, queries
+    )
+    row_seconds, _ = run_engine_on_sequence(
+        RowStoreEngine, make_table, queries
+    )
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["attrs %", "DBMS-C (s)", "DBMS-R (s)", "winner"],
+        series={"fractions": list(fractions), "column": col_seconds,
+                "row": row_seconds},
+    )
+    crossover = None
+    for fraction, c, r in zip(fractions, col_seconds, row_seconds):
+        winner = "column" if c <= r else "row"
+        if winner == "row" and crossover is None:
+            crossover = fraction
+        result.rows.append(
+            [f"{fraction * 100:.0f}", round(c, 4), round(r, 4), winner]
+        )
+    result.notes.append(
+        f"{num_rows} rows x {num_attrs} attrs; selectivity="
+        + ("none (no WHERE)" if selectivity is None else f"{selectivity}")
+    )
+    if crossover is not None:
+        result.notes.append(
+            f"first row-store win at {crossover * 100:.0f}% of attributes"
+        )
+    else:
+        result.notes.append("column store won the whole sweep")
+    return result
+
+
+@register("fig1", "DBMS-C vs DBMS-R, projectivity sweep at 40% selectivity")
+def fig1() -> ExperimentResult:
+    return run_projectivity_experiment(
+        "fig1",
+        "inability of a fixed layout to stay optimal (sel 40%)",
+        selectivity=0.4,
+    )

@@ -1,0 +1,171 @@
+"""Fig. 10(a–f) — behaviour of the three data layouts.
+
+One wide table (150 attributes); queries run over each layout with its
+natural strategy and tailored generated code:
+
+- row-major       → fused scan of the full-width layout,
+- group of columns → fused scan of a group containing exactly the
+  accessed attributes (creation cost excluded, as in the paper),
+- column-major    → late materialization over single columns.
+
+(a–c) sweep the number of attributes accessed (no WHERE clause) for
+projections / aggregations / arithmetic expressions; (d–f) fix 20
+attributes and sweep selectivity 0.1%–100% with one predicate attribute.
+
+Expected shapes: groups win projections and arithmetic expressions;
+column-major wins plain aggregations; row-major converges to the group
+at full width and loses badly at low attribute counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...execution.executor import Executor
+from ...storage.generator import generate_table
+from ...storage.stitcher import stitch_group
+from ...workloads.microbench import QUERY_TEMPLATES
+from ..harness import ExperimentResult, register, warm_table
+from .common import analyze, default_config, layout_plans_for, rows, time_plan
+
+NUM_ATTRS = 150
+ATTR_SWEEP = (5, 15, 25, 35, 45, 55, 65, 75, 85, 95, 105, 115, 125, 135, 145)
+SELECTIVITIES = (0.001, 0.01, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _build_tables(seed: int = 21):
+    """Column-major table + its row-major twin (shared data)."""
+    num_rows = rows(100_000)
+    table = generate_table(
+        "r", NUM_ATTRS, num_rows, rng=seed, initial_layout="column"
+    )
+    row_layout, _ = stitch_group(
+        table.layouts, table.schema.names, table.schema, full_width=True
+    )
+    table.add_layout(row_layout)
+    warm_table(table)
+    return table, row_layout
+
+
+def _run_layout_points(
+    table,
+    row_layout,
+    queries: Sequence,
+    labels: Sequence[object],
+) -> List[Sequence[object]]:
+    executor = Executor(default_config())
+    out = []
+    for label, query in zip(labels, queries):
+        info = analyze(query, table)
+        group = stitch_group(
+            table.covering_layouts(info.all_attrs),
+            table.schema.ordered(info.all_attrs),
+            table.schema,
+        )[0]
+        plans = layout_plans_for(table, row_layout, group, info)
+        times = {
+            name: time_plan(executor, info, plan)
+            for name, plan in plans.items()
+        }
+        out.append(
+            [
+                label,
+                round(times["row"], 4),
+                round(times["group"], 4),
+                round(times["column"], 4),
+                min(times, key=times.get),
+            ]
+        )
+    return out
+
+
+def _pick(count: int, rng) -> list:
+    """Randomly scattered attributes (paper: "randomly generated")."""
+    chosen = rng.choice(NUM_ATTRS, size=count, replace=False)
+    return [f"a{i + 1}" for i in sorted(chosen)]
+
+
+def _attr_sweep_experiment(
+    experiment_id: str, template: str, title: str
+) -> ExperimentResult:
+    import numpy as np
+
+    table, row_layout = _build_tables()
+    make = QUERY_TEMPLATES[template]
+    counts = [c for c in ATTR_SWEEP if c <= NUM_ATTRS]
+    rng = np.random.default_rng(97)
+    queries = [make(_pick(count, rng)) for count in counts]
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["# attrs", "row (s)", "group (s)", "column (s)", "best"],
+    )
+    result.rows = _run_layout_points(table, row_layout, queries, counts)
+    result.series["points"] = result.rows
+    return result
+
+
+def _selectivity_sweep_experiment(
+    experiment_id: str, template: str, title: str, attrs_accessed: int = 20
+) -> ExperimentResult:
+    import numpy as np
+
+    table, row_layout = _build_tables()
+    make = QUERY_TEMPLATES[template]
+    picked = _pick(attrs_accessed, np.random.default_rng(98))
+    attrs, where_attr = picked[:-1], picked[-1]
+    queries = [
+        make(attrs, where_attrs=[where_attr], selectivity=s)
+        for s in SELECTIVITIES
+    ]
+    labels = [f"{s * 100:g}%" for s in SELECTIVITIES]
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["selectivity", "row (s)", "group (s)", "column (s)", "best"],
+    )
+    result.rows = _run_layout_points(table, row_layout, queries, labels)
+    result.series["points"] = result.rows
+    return result
+
+
+@register("fig10a", "layouts: projections, attribute sweep, no WHERE")
+def fig10a() -> ExperimentResult:
+    return _attr_sweep_experiment(
+        "fig10a", "projection", "projections vs attributes projected"
+    )
+
+
+@register("fig10b", "layouts: aggregations, attribute sweep, no WHERE")
+def fig10b() -> ExperimentResult:
+    return _attr_sweep_experiment(
+        "fig10b", "aggregation", "aggregations vs attributes aggregated"
+    )
+
+
+@register("fig10c", "layouts: arithmetic expressions, attribute sweep")
+def fig10c() -> ExperimentResult:
+    return _attr_sweep_experiment(
+        "fig10c", "arithmetic", "arithmetic expression vs attributes accessed"
+    )
+
+
+@register("fig10d", "layouts: projections at 20 attrs, selectivity sweep")
+def fig10d() -> ExperimentResult:
+    return _selectivity_sweep_experiment(
+        "fig10d", "projection", "projection of 20 attrs vs selectivity"
+    )
+
+
+@register("fig10e", "layouts: aggregations at 20 attrs, selectivity sweep")
+def fig10e() -> ExperimentResult:
+    return _selectivity_sweep_experiment(
+        "fig10e", "aggregation", "20 aggregations vs selectivity"
+    )
+
+
+@register("fig10f", "layouts: arithmetic at 20 attrs, selectivity sweep")
+def fig10f() -> ExperimentResult:
+    return _selectivity_sweep_experiment(
+        "fig10f", "arithmetic", "arithmetic over 20 attrs vs selectivity"
+    )

@@ -1,0 +1,71 @@
+"""Fig. 11 — accessing only a subset of a column group.
+
+A 30-attribute group exists; queries aggregate 5/10/15/20/25 of its
+attributes (with a filter on one of them) at selectivities 1/10/50/100%.
+Reported value: the percentage slowdown of using the whole 30-attribute
+group versus a perfect group containing exactly the needed attributes.
+
+Expected shape: the penalty grows as fewer of the group's attributes are
+useful (paper: up to ~142% at 5-of-30) and is negligible at 25-of-30.
+"""
+
+from __future__ import annotations
+
+from ...execution.executor import Executor
+from ...execution.strategies import AccessPlan, ExecutionStrategy
+from ...storage.generator import generate_table
+from ...workloads.microbench import aggregation_query
+from ..harness import ExperimentResult, register, warm_table
+from .common import analyze, default_config, perfect_group, rows, time_plan
+
+GROUP_WIDTH = 30
+USEFUL_COUNTS = (5, 10, 15, 20, 25)
+SELECTIVITIES = (0.01, 0.1, 0.5, 1.0)
+
+
+@register("fig11", "penalty of accessing a subset of a 30-attr column group")
+def fig11() -> ExperimentResult:
+    table = generate_table(
+        "r", 60, rows(100_000), rng=31, initial_layout="column"
+    )
+    group_attrs = [f"a{i}" for i in range(1, GROUP_WIDTH + 1)]
+    group = perfect_group(table, group_attrs)
+    warm_table(table)
+    executor = Executor(default_config())
+
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="slowdown vs a perfectly tailored group (percent)",
+        headers=["selectivity"] + [f"{c} attrs" for c in USEFUL_COUNTS],
+    )
+    for selectivity in SELECTIVITIES:
+        row = [f"{selectivity * 100:g}%"]
+        for useful in USEFUL_COUNTS:
+            attrs = group_attrs[: useful - 1]
+            where_attr = group_attrs[useful - 1]
+            query = aggregation_query(
+                attrs, where_attrs=[where_attr], selectivity=selectivity
+            )
+            info = analyze(query, table)
+            tailored = perfect_group(table, info.all_attrs)
+            whole = time_plan(
+                executor,
+                info,
+                AccessPlan(ExecutionStrategy.FUSED, (group,)),
+                repeats=9,
+            )
+            perfect = time_plan(
+                executor,
+                info,
+                AccessPlan(ExecutionStrategy.FUSED, (tailored,)),
+                repeats=9,
+            )
+            penalty = (whole / perfect - 1.0) * 100.0
+            row.append(round(penalty, 1))
+        result.rows.append(row)
+    result.notes.append(
+        "cells are % slowdown of the 30-attribute group vs a group with "
+        "exactly the accessed attributes (higher = worse)"
+    )
+    result.series["penalties"] = result.rows
+    return result

@@ -1,0 +1,35 @@
+"""Fig. 2(a–c) — the "optimal DBMS" changes with the workload.
+
+Same setup as Fig. 1, at three selectivities: (a) 100% (pure
+aggregation, no WHERE clause), (b) 40%, (c) 1%.  Expected shapes:
+(a) column always wins; (b)/(c) a crossover appears as the number of
+attributes accessed in both clauses grows.
+"""
+
+from __future__ import annotations
+
+from ..harness import ExperimentResult, register
+from .fig1 import run_projectivity_experiment
+
+
+@register("fig2a", "projectivity sweep, selectivity 100% (no WHERE)")
+def fig2a() -> ExperimentResult:
+    return run_projectivity_experiment(
+        "fig2a", "aggregations only (no WHERE clause)", selectivity=None
+    )
+
+
+@register("fig2b", "projectivity sweep, selectivity 40%")
+def fig2b() -> ExperimentResult:
+    return run_projectivity_experiment(
+        "fig2b", "select-project-aggregate at selectivity 40%",
+        selectivity=0.4,
+    )
+
+
+@register("fig2c", "projectivity sweep, selectivity 1%")
+def fig2c() -> ExperimentResult:
+    return run_projectivity_experiment(
+        "fig2c", "select-project-aggregate at selectivity 1%",
+        selectivity=0.01,
+    )

@@ -1,0 +1,125 @@
+"""Fig. 7 + Table 1 — H2O vs row-store vs column-store vs optimal.
+
+A 100-query select-project-aggregate sequence with recurring, drifting
+access patterns.  H2O starts at column-store behaviour (the relation is
+initially column-major), pays visible reorganization spikes on the
+queries that materialize new column groups, then tracks near-optimal.
+
+Table 1 is the cumulative execution time of the same sequence; the
+expected ordering is optimal < H2O < column < row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...baselines import ColumnStoreEngine, OptimalEngine, RowStoreEngine
+from ...core.engine import H2OEngine
+from ...workloads.sequences import fig7_sequence
+from ..harness import ExperimentResult, register
+from .common import rows, run_engine_on_sequence
+
+
+def run_fig7(num_queries: int = 100, base_rows: int = 150_000, seed: int = 7):
+    """Run the four engines over the Fig. 7 sequence; per-query times."""
+    workload = fig7_sequence(
+        num_attrs=150,
+        num_rows=rows(base_rows),
+        num_queries=num_queries,
+        rng=seed,
+    )
+
+    factories = (
+        ("row", RowStoreEngine),
+        ("column", ColumnStoreEngine),
+        ("optimal", OptimalEngine),
+        ("h2o", H2OEngine),
+    )
+    results: Dict[str, List[float]] = {}
+    engines = {}
+    # Rounds are interleaved across engines (A B C D, A B C D) so that
+    # slow machine phases hit every engine, not whichever engine was
+    # running when the host slowed down; per engine the best round wins.
+    for _round in range(2):
+        for name, factory in factories:
+            seconds, engine = run_engine_on_sequence(
+                factory,
+                lambda: workload.make_table(rng=1),
+                workload.queries,
+            )
+            if name not in results or sum(seconds) < sum(results[name]):
+                results[name] = seconds
+                engines[name] = engine
+    return workload, results, engines
+
+
+@register("fig7", "per-query response time: H2O vs row vs column vs optimal")
+def fig7() -> ExperimentResult:
+    workload, results, engines = run_fig7()
+    h2o = engines["h2o"]
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="H2O adapts along the query sequence",
+        headers=["query", "row (s)", "column (s)", "optimal (s)",
+                 "H2O (s)", "H2O event"],
+        series=results,
+    )
+    reorg_queries = {
+        event.query_index for event in h2o.manager.creation_log
+    }
+    for index in range(len(workload.queries)):
+        event = ""
+        report = h2o.reports[index]
+        if index in reorg_queries:
+            event = "builds layout"
+        elif report.strategy == "fused":
+            event = "fused group"
+        result.rows.append(
+            [
+                index,
+                round(results["row"][index], 4),
+                round(results["column"][index], 4),
+                round(results["optimal"][index], 4),
+                round(results["h2o"][index], 4),
+                event,
+            ]
+        )
+    result.notes.append(
+        f"H2O created {len(h2o.manager.creation_log)} column groups "
+        f"({h2o.layout_creation_seconds():.2f}s total, charged to the "
+        "triggering queries)"
+    )
+    fused = sum(1 for r in h2o.reports if r.strategy == "fused")
+    result.notes.append(
+        f"{fused}/{len(h2o.reports)} queries ran on column groups; the "
+        "rest used column-major late materialization"
+    )
+    return result
+
+
+@register("table1", "cumulative execution time of the Fig. 7 sequence")
+def table1() -> ExperimentResult:
+    _workload, results, engines = run_fig7()
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="cumulative execution time (paper: 538.2 / 283.7 / 204.7)",
+        headers=["engine", "cumulative (s)", "vs column"],
+        series={name: sum(vals) for name, vals in results.items()},
+    )
+    column_total = sum(results["column"])
+    for name in ("row", "column", "h2o", "optimal"):
+        total = sum(results[name])
+        result.rows.append(
+            [name, round(total, 3), f"{total / column_total:.2f}x"]
+        )
+    expected = (
+        sum(results["optimal"])
+        <= sum(results["h2o"])
+        <= sum(results["column"])
+        <= sum(results["row"])
+    )
+    result.notes.append(
+        "expected ordering optimal <= H2O <= column <= row: "
+        + ("HOLDS" if expected else "VIOLATED")
+    )
+    return result

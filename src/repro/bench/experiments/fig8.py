@@ -1,0 +1,99 @@
+"""Fig. 8 — H2O vs AutoPart on the SkyServer surrogate workload.
+
+AutoPart gets the entire 250-query workload up front, computes an
+offline vertical partitioning, physically applies it (timed as "layout
+creation"), then executes.  H2O sees the queries online, adapting as it
+goes.  The paper's result: H2O's total (execution + creation) beats the
+offline tool because it adapts to individual queries rather than one
+compromise partitioning.
+"""
+
+from __future__ import annotations
+
+from ...baselines import AutoPartEngine
+from ...core.engine import H2OEngine
+from ...workloads.skyserver import skyserver_workload
+from ..harness import ExperimentResult, register, warm_table
+from .common import rows
+
+
+@register("fig8", "H2O vs AutoPart on the SkyServer surrogate (250 queries)")
+def fig8() -> ExperimentResult:
+    # The paper's SkyServer subset is orders of magnitude larger than
+    # our default micro-benchmark scale; per-query work must dominate
+    # the (Python-fixed) adaptation overheads as it does in the paper,
+    # so this experiment uses a larger default table.
+    workload = skyserver_workload(
+        num_rows=rows(250_000), num_queries=250, rng=13
+    )
+
+    # AutoPart: offline fit + physical application (timed), then run.
+    table_a = workload.make_table(rng=2)
+    warm_table(table_a)
+    autopart = AutoPartEngine(table_a, workload.queries)
+    autopart.prepare()
+    autopart_exec = sum(
+        autopart.execute(q).seconds for q in workload.queries
+    )
+
+    # H2O: fully online, starting from the same row-major relation.
+    table_h = workload.make_table(rng=2)
+    warm_table(table_h)
+    h2o = H2OEngine(table_h)
+    h2o_reports = [h2o.execute(q) for q in workload.queries]
+    h2o_total = sum(r.seconds for r in h2o_reports)
+    h2o_creation = h2o.layout_creation_seconds()
+    h2o_exec = h2o_total - h2o_creation
+
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="execution vs layout-creation time (stacked bars)",
+        headers=["engine", "execution (s)", "layout creation (s)",
+                 "total (s)"],
+        series={
+            "autopart": (autopart_exec, autopart.layout_creation_seconds),
+            "h2o": (h2o_exec, h2o_creation),
+        },
+    )
+    result.rows.append(
+        [
+            "AutoPart",
+            round(autopart_exec, 3),
+            round(autopart.layout_creation_seconds, 3),
+            round(autopart_exec + autopart.layout_creation_seconds, 3),
+        ]
+    )
+    result.rows.append(
+        ["H2O", round(h2o_exec, 3), round(h2o_creation, 3),
+         round(h2o_total, 3)]
+    )
+    result.notes.append(
+        f"AutoPart partitioned into "
+        f"{len(autopart.partitioning.groups)} fragments; H2O built "
+        f"{len(h2o.manager.creation_log)} groups online"
+    )
+    autopart_total = autopart_exec + autopart.layout_creation_seconds
+    result.notes.append(
+        "creation-share claim (H2O creates far less than the offline "
+        "tool): "
+        + (
+            "HOLDS"
+            if h2o_creation < autopart.layout_creation_seconds
+            else "VIOLATED"
+        )
+    )
+    result.notes.append(
+        f"total-time claim (paper: H2O < AutoPart): H2O at "
+        f"{h2o_total / autopart_total:.2f}x AutoPart — "
+        + ("HOLDS" if h2o_total <= autopart_total else "NOT REPRODUCED")
+    )
+    result.notes.append(
+        "the total-time margin is substrate-sensitive: the offline "
+        "tool's fixed costs (disk-resident repartitioning in the "
+        "paper) are disproportionately cheap as an in-memory numpy "
+        "stitch, while H2O's per-query monitoring/advisor costs are "
+        "disproportionately expensive in Python at this scale; H2O's "
+        "execution reaches the offline tool's without any workload "
+        "knowledge, which is the figure's qualitative point"
+    )
+    return result

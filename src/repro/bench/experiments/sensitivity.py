@@ -1,0 +1,71 @@
+"""Window-size sensitivity (paper section 3.2: "the window size defines
+how aggressive or conservative H2O is").
+
+Not a numbered figure — the paper discusses the trade-off and sets the
+initial window to 20 (section 4.1); this experiment sweeps the initial
+window on the Fig. 7 workload to show both failure modes: tiny windows
+adapt constantly (overhead, overreaction), huge windows adapt too late
+(missed layouts).
+"""
+
+from __future__ import annotations
+
+from ...config import EngineConfig
+from ...core.engine import H2OEngine
+from ...workloads.sequences import fig7_sequence
+from ..harness import ExperimentResult, register
+from .common import rows, run_engine_on_sequence
+
+WINDOW_SIZES = (5, 10, 20, 40)
+
+
+@register(
+    "window_sense",
+    "sensitivity of H2O to the initial adaptation-window size",
+)
+def window_sense() -> ExperimentResult:
+    workload = fig7_sequence(
+        num_attrs=150, num_rows=rows(100_000), num_queries=80, rng=7
+    )
+    result = ExperimentResult(
+        experiment_id="window_sense",
+        title="initial window size vs cumulative time (Fig. 7 workload)",
+        headers=[
+            "window",
+            "cumulative (s)",
+            "layouts built",
+            "adaptations",
+            "fused queries",
+        ],
+    )
+    for window in WINDOW_SIZES:
+        config = EngineConfig(
+            window_size=window,
+            min_window=min(8, window),
+            max_window=max(60, window),
+        )
+
+        def make_engine(table, _config=config):
+            return H2OEngine(table, _config)
+
+        seconds, engine = run_engine_on_sequence(
+            make_engine, lambda: workload.make_table(rng=1),
+            workload.queries,
+        )
+        adaptations = sum(1 for r in engine.reports if r.adaptation_ran)
+        fused = sum(1 for r in engine.reports if r.strategy == "fused")
+        result.rows.append(
+            [
+                window,
+                round(sum(seconds), 3),
+                len(engine.manager.creation_log),
+                adaptations,
+                fused,
+            ]
+        )
+        result.series[str(window)] = sum(seconds)
+    result.notes.append(
+        "the paper's default (20) balances adaptation overhead against "
+        "reaction speed"
+    )
+    return result

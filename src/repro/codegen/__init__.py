@@ -1,0 +1,33 @@
+"""On-the-fly operator generation (paper section 3.4).
+
+H2O refuses to pay generic-operator interpretation overhead: for each
+(query shape, layout combination, strategy) it generates *specialized
+source code* — attribute positions, predicate chains and arithmetic
+pipelines bound as constants — compiles it, and caches the compiled
+operator for reuse by future queries.
+
+The paper emits C++ through macro templates and compiles with icc; we
+emit Python/numpy through source templates and compile with
+:func:`compile`.  The pipeline is the same: template selection →
+specialization → compilation → dynamic linking (namespace injection) →
+operator cache.  Generation+compilation time is measured and charged to
+the triggering query, exactly as the paper charges its 10–150 ms.
+
+Literals are lifted into runtime parameters so that queries differing
+only in constants share one compiled operator (the paper passes ``val1``
+/ ``val2`` as arguments for the same reason — see Fig. 5 and 6).
+"""
+
+from .cache import OperatorCache
+from .compile import compile_kernel
+from .generator import GeneratedOperator, generate_operator, operator_source
+from .source import SourceBuilder
+
+__all__ = [
+    "OperatorCache",
+    "compile_kernel",
+    "GeneratedOperator",
+    "generate_operator",
+    "operator_source",
+    "SourceBuilder",
+]

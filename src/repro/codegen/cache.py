@@ -1,0 +1,67 @@
+"""The operator cache.
+
+"To minimize the overhead of code generation, H2O stores newly generated
+operators into a cache.  If the same operator is requested by a future
+query, H2O accesses it directly from the cache." (paper section 3.4)
+
+Keys are structural: masked query shape (literals replaced by ``?``),
+execution strategy, and the exact layout-combination signature.  Two
+queries differing only in constants therefore share one compiled kernel,
+with the constants passed as runtime parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """One compiled operator and its provenance."""
+
+    kernel: Callable
+    source: str
+    filename: str
+    #: Seconds spent generating + compiling this operator originally.
+    build_seconds: float = 0.0
+    uses: int = 0
+
+
+@dataclass
+class OperatorCache:
+    """Maps operator signatures to compiled kernels."""
+
+    enabled: bool = True
+    _entries: Dict[Hashable, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, key: Hashable) -> Optional[CacheEntry]:
+        """The cached entry for ``key``, counting hit/miss statistics."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.uses += 1
+        return entry
+
+    def store(self, key: Hashable, entry: CacheEntry) -> None:
+        if self.enabled:
+            self._entries[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """(cached operators, hits, misses)."""
+        return len(self._entries), self.hits, self.misses

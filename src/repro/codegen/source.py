@@ -1,0 +1,62 @@
+"""Indentation-aware source emission."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+
+class SourceBuilder:
+    """Accumulates Python source lines with managed indentation.
+
+    >>> sb = SourceBuilder()
+    >>> sb.line("def f(x):")
+    >>> with sb.indented():
+    ...     sb.line("return x + 1")
+    >>> print(sb.render())
+    def f(x):
+        return x + 1
+    """
+
+    INDENT = "    "
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+        self._temp_counter = 0
+
+    def line(self, text: str = "") -> None:
+        """Emit one line at the current indentation."""
+        if text:
+            self._lines.append(self.INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        for text in texts:
+            self.line(text)
+
+    @contextmanager
+    def indented(self) -> Iterator[None]:
+        """Emit the body of a block one level deeper."""
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
+    @contextmanager
+    def block(self, header: str) -> Iterator[None]:
+        """Emit ``header`` then an indented body."""
+        self.line(header)
+        with self.indented():
+            yield
+
+    def fresh(self, prefix: str = "t") -> str:
+        """A new unique local-variable name."""
+        name = f"{prefix}{self._temp_counter}"
+        self._temp_counter += 1
+        return name
+
+    def render(self) -> str:
+        return "\n".join(self._lines)

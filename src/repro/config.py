@@ -1,0 +1,163 @@
+"""Engine and experiment configuration.
+
+The paper runs on a fixed server (Sandy Bridge Xeon, 64KB L1 / 256KB L2 /
+20MB L3, 128 GB RAM).  We expose the equivalent machine parameters as an
+explicit :class:`MachineProfile` consumed by the cost model, and the H2O
+engine knobs (window size, vector size, adaptation thresholds) as an
+:class:`EngineConfig`.
+
+Experiment scale is controlled by the ``H2O_SCALE`` environment variable:
+the benchmark harness multiplies its default row counts by this factor so
+the full paper-style sweeps can be run at laptop scale (default) or
+larger.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from .errors import AdaptationError
+
+#: Number of bytes in one cache line on the modelled machine.
+CACHE_LINE_BYTES = 64
+
+#: Width in bytes of the fixed-length attribute values (int64/float64).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Analytic machine model used by the cost model (paper section 3.5).
+
+    The paper's cost model combines sequential/random I/O bandwidth with a
+    CPU cost derived from data-cache misses.  All our experiments are hot
+    and in-memory (as in the paper), so ``io_bandwidth`` models memory
+    bandwidth for sequential scans and ``miss_penalty`` the cost of one
+    data-cache miss.
+    """
+
+    cache_line_bytes: int = CACHE_LINE_BYTES
+    word_bytes: int = WORD_BYTES
+    #: Sequential scan bandwidth in bytes/second (memory-resident data).
+    io_bandwidth: float = 8e9
+    #: Random access bandwidth in bytes/second (gather-style access).
+    random_io_bandwidth: float = 1e9
+    #: Seconds of CPU stall per data-cache miss.
+    miss_penalty: float = 1.2e-8
+    #: Seconds of CPU work per value actually processed (predicate or
+    #: arithmetic evaluation on one word).
+    cpu_per_word: float = 1.5e-9
+
+    @property
+    def words_per_line(self) -> int:
+        """How many attribute values fit in one cache line."""
+        return self.cache_line_bytes // self.word_bytes
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable knobs of the H2O engine.
+
+    The defaults mirror the paper's experimental setup: an initial
+    monitoring window of 20 queries (section 4.1) that adapts between
+    ``min_window`` and ``max_window``, vectors sized to fit L1 (section
+    3.3), and lazy layout materialization enabled.
+    """
+
+    #: Initial size (in queries) of the monitoring window.
+    window_size: int = 20
+    #: Lower bound for the dynamic window.
+    min_window: int = 8
+    #: Upper bound for the dynamic window.
+    max_window: int = 60
+    #: Whether the window adapts to workload shifts (Fig. 9 ablation).
+    dynamic_window: bool = True
+    #: Fraction of a query's attribute set that must overlap recent
+    #: history for the query to count as a "seen" pattern.
+    shift_overlap_threshold: float = 0.5
+    #: Fraction of recent queries with unseen patterns that triggers
+    #: window shrinking.  Mild pattern drift (a workload gradually
+    #: rotating its hot set) should not shrink the window — that starves
+    #: the advisor of pattern frequencies; only a substantial burst of
+    #: novel patterns counts as a shift.
+    shift_trigger_fraction: float = 0.45
+    #: Multiplicative window shrink factor on detected shift.
+    window_shrink_factor: float = 0.5
+    #: Additive window growth (queries) while the workload is stable —
+    #: stable workloads earn long windows so adaptation overhead decays.
+    window_grow_step: int = 6
+    #: Number of tuples per execution vector (sized for cache locality).
+    vector_size: int = 4096
+    #: How proposed layouts get materialized:
+    #: - "lazy" (the paper's H2O): built inside the first query that
+    #:   benefits, fused with its execution (online reorganization);
+    #: - "eager": built offline the moment the advisor proposes them
+    #:   (the create-then-query discipline Fig. 13 shows is slower);
+    #: - "never": candidates are proposed but nothing is built (pure
+    #:   strategy adaptation — an ablation mode).
+    materialization: str = "lazy"
+    #: Whether generated operators are cached and reused.
+    operator_cache: bool = True
+    #: Whether to use on-the-fly generated operators at all; when False the
+    #: engine falls back to the generic interpreted operator (Fig. 14).
+    use_codegen: bool = True
+    #: Minimum windowed pattern frequency needed before a candidate
+    #: layout may be materialized (its expected net gain must also be
+    #: positive, so this is a floor, not the whole amortization test).
+    amortization_threshold: float = 1.0
+    #: Maximum number of candidate layouts kept in the candidate pool.
+    max_candidates: int = 8
+    #: Estimated future uses of a proposed layout, as a multiple of its
+    #: observed windowed frequency ("the benefit of a new data layout
+    #: depends on ... how many times H2O is going to use it", paper
+    #: section 3.2): a pattern seen k times in the window is expected to
+    #: recur about this-times-k more before it fades.
+    future_use_multiplier: float = 2.0
+    #: Storage budget in bytes for the table *including* replicated
+    #: groups; 0 means unlimited.  When a new layout pushes the table
+    #: past the budget, the least-used replicated groups are retired
+    #: (attribute coverage is never broken).
+    max_table_bytes: int = 0
+    #: Machine model used for all cost estimation.
+    machine: MachineProfile = field(default_factory=MachineProfile)
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise AdaptationError("window_size must be positive")
+        if not (0 < self.min_window <= self.window_size <= self.max_window):
+            raise AdaptationError(
+                "window bounds must satisfy 0 < min_window <= window_size "
+                f"<= max_window, got {self.min_window} <= {self.window_size}"
+                f" <= {self.max_window}"
+            )
+        if self.vector_size <= 0:
+            raise AdaptationError("vector_size must be positive")
+        if not 0.0 < self.window_shrink_factor < 1.0:
+            raise AdaptationError("window_shrink_factor must be in (0, 1)")
+        if self.materialization not in ("lazy", "eager", "never"):
+            raise AdaptationError(
+                "materialization must be 'lazy', 'eager' or 'never', got "
+                f"{self.materialization!r}"
+            )
+
+    def with_overrides(self, **kwargs: object) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def scale_factor() -> float:
+    """Experiment scale multiplier, from the ``H2O_SCALE`` env variable."""
+    raw = os.environ.get("H2O_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"H2O_SCALE must be a number, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"H2O_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled_rows(base_rows: int, minimum: int = 1000) -> int:
+    """Scale a benchmark's default row count by :func:`scale_factor`."""
+    return max(minimum, int(base_rows * scale_factor()))

@@ -1,0 +1,44 @@
+"""The H2O core: continuous, query-driven layout & strategy adaptation.
+
+Components map one-to-one onto the paper's architecture (Fig. 3):
+
+- :mod:`~repro.core.monitor` + :mod:`~repro.core.affinity` — access
+  statistics over a window of recent queries (two affinity matrices),
+- :mod:`~repro.core.window` — the dynamic adaptation window,
+- :mod:`~repro.core.history` — workload-shift detection,
+- :mod:`~repro.core.cost_model` — I/O + cache-miss cost model (Eq. 2),
+- :mod:`~repro.core.advisor` — candidate-layout generation by iterative
+  merging, costed with workload + transformation cost (Eq. 1),
+- :mod:`~repro.core.layout_manager` — owns the physical layouts,
+- :mod:`~repro.core.reorganizer` — offline and online (fused with query
+  execution) data reorganization,
+- :mod:`~repro.core.engine` — the query processor tying it together.
+"""
+
+from .affinity import AffinityMatrix
+from .cost_model import CostModel, SelectivityEstimator
+from .monitor import AccessPattern, Monitor
+from .window import DynamicWindow
+from .history import ShiftDetector
+from .advisor import CandidateLayout, LayoutAdvisor
+from .layout_manager import LayoutManager
+from .reorganizer import Reorganizer
+from .engine import H2OEngine, QueryReport
+from .system import H2OSystem
+
+__all__ = [
+    "AffinityMatrix",
+    "CostModel",
+    "SelectivityEstimator",
+    "Monitor",
+    "AccessPattern",
+    "DynamicWindow",
+    "ShiftDetector",
+    "LayoutAdvisor",
+    "CandidateLayout",
+    "LayoutManager",
+    "Reorganizer",
+    "H2OEngine",
+    "H2OSystem",
+    "QueryReport",
+]

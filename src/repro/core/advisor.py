@@ -1,0 +1,469 @@
+"""The layout advisor: candidate generation + selection (paper Eq. 1).
+
+Determining the optimal layout is vertical partitioning (NP-hard), so
+H2O prunes aggressively (paper section 3.2, "Alternative Data Layouts"):
+
+1. The initial configuration contains the *narrowest* useful groups —
+   the distinct SELECT-clause and WHERE-clause attribute sets observed
+   in the monitoring window ("attributes accessed together within a
+   query").
+2. The solution is improved iteratively by *merging* narrow groups with
+   groups generated in previous iterations, reducing the group-joining
+   overhead for queries that span groups.
+3. Every configuration is scored with
+   ``cost(W, C) = Σ_j q_j(C) + T(C_prev, C)`` — the windowed workload
+   cost under the configuration plus the transformation cost of the new
+   layouts — so a layout is proposed only when its creation can be
+   amortized.
+
+The advisor does not materialize anything: it emits a ranked pool of
+:class:`CandidateLayout` proposals; the engine materializes a candidate
+lazily, the first time a query both matches it and can amortize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..config import EngineConfig
+from ..sql.analyzer import QueryInfo, analyze_query
+from ..storage.relation import Table
+from .cost_model import CostModel, GroupSpec
+from .monitor import Monitor
+
+
+@dataclass(frozen=True)
+class CandidateLayout:
+    """One proposed column group awaiting lazy materialization."""
+
+    attrs: Tuple[str, ...]
+    #: Windowed queries whose full access set the group covers.
+    frequency: int
+    #: Mean cost saving per covered query (model units/seconds).
+    benefit_per_use: float
+    #: Estimated transformation cost to build the group (Eq. 1's T).
+    build_cost: float
+    origin: str  # "select" | "where" | "merge"
+
+    @property
+    def attr_set(self) -> FrozenSet[str]:
+        return frozenset(self.attrs)
+
+    @property
+    def expected_gain(self) -> float:
+        """Net windowed gain: amortized benefit minus build cost."""
+        return self.benefit_per_use * self.frequency - self.build_cost
+
+    def covers(self, attrs: FrozenSet[str]) -> bool:
+        """Whether a query touching ``attrs`` can be served entirely
+        from this group."""
+        return bool(attrs) and attrs <= self.attr_set
+
+    def serves(
+        self, select_attrs: FrozenSet[str], where_attrs: FrozenSet[str]
+    ) -> bool:
+        """Whether a query benefits from this group: the group covers
+        the whole access set, or one full clause (a select group feeds
+        the projection/aggregation, a where group drives the selection
+        vector — Fig. 6)."""
+        all_attrs = select_attrs | where_attrs
+        if not all_attrs:
+            return False
+        if all_attrs <= self.attr_set:
+            return True
+        if select_attrs and select_attrs <= self.attr_set:
+            return True
+        return bool(where_attrs) and where_attrs <= self.attr_set
+
+
+class LayoutAdvisor:
+    """Generates and ranks candidate column groups for one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        cost_model: CostModel,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.table = table
+        self.cost_model = cost_model
+        self.config = config or EngineConfig()
+
+    # Abstract costing ---------------------------------------------------------
+    #
+    # Costing treats single-column layouts implicitly (as a set of
+    # available attribute names) so the greedy covers only iterate over
+    # the handful of multi-attribute groups — the advisor runs inside
+    # query processing and must stay cheap.
+
+    def _group_universe(
+        self, extra: Sequence[FrozenSet[str]]
+    ) -> Tuple[List[FrozenSet[str]], FrozenSet[str]]:
+        """(multi-attribute groups, attributes available as singles)."""
+        multi: List[FrozenSet[str]] = []
+        singles: set = set()
+        for layout in self.table.layouts:
+            if layout.width == 1:
+                singles.add(layout.attrs[0])
+            else:
+                multi.append(layout.attr_set)
+        for group in extra:
+            if not group:
+                continue
+            if len(group) == 1:
+                singles |= group
+            else:
+                multi.append(group)
+        return multi, frozenset(singles)
+
+    @staticmethod
+    def _cover(
+        needed: FrozenSet[str],
+        multi: Sequence[FrozenSet[str]],
+        singles: FrozenSet[str],
+    ) -> Optional[List[FrozenSet[str]]]:
+        """Greedy fewest-layouts cover; leftovers fall back to singles."""
+        remaining = set(needed)
+        chosen: List[FrozenSet[str]] = []
+        while remaining:
+            best = None
+            best_key = (0, 0)
+            for group in multi:
+                covered = len(remaining & group)
+                if covered == 0:
+                    continue
+                key = (covered, -len(group))
+                if key > best_key:
+                    best_key = key
+                    best = group
+            if best is None:
+                break
+            chosen.append(best)
+            remaining -= best
+        if remaining:
+            if not remaining <= singles:
+                return None
+            chosen.extend(frozenset({attr}) for attr in sorted(remaining))
+        return chosen
+
+    def _specs(
+        self,
+        cover: Sequence[FrozenSet[str]],
+        needed: FrozenSet[str],
+        num_rows: int,
+    ) -> Tuple[GroupSpec, ...]:
+        return tuple(
+            GroupSpec.of(len(group), len(needed & group), num_rows)
+            for group in cover
+            if needed & group
+        )
+
+    @staticmethod
+    def _narrowest_cover(
+        needed: FrozenSet[str],
+        multi: Sequence[FrozenSet[str]],
+        singles: FrozenSet[str],
+    ) -> Optional[List[FrozenSet[str]]]:
+        """Per-attribute narrowest provider (column-store-ish cover)."""
+        chosen: List[FrozenSet[str]] = []
+        seen: set = set()
+        for attr in needed:
+            if attr in singles:
+                provider: FrozenSet[str] = frozenset({attr})
+            else:
+                candidates = [g for g in multi if attr in g]
+                if not candidates:
+                    return None
+                provider = min(candidates, key=len)
+            if provider not in seen:
+                seen.add(provider)
+                chosen.append(provider)
+        return chosen
+
+    def _query_cost_split(
+        self,
+        info: QueryInfo,
+        multi: Sequence[FrozenSet[str]],
+        singles: FrozenSet[str],
+    ) -> float:
+        """Minimum estimated cost over cover variants × legal strategies."""
+        from ..execution.strategies import MAX_FUSED_STREAMS
+
+        num_rows = self.table.num_rows
+        all_attrs = frozenset(info.all_attrs)
+        select_attrs = frozenset(info.select_attrs)
+        where_attrs = frozenset(info.where_attrs)
+
+        covers = []
+        greedy = self._cover(all_attrs, multi, singles)
+        if greedy is not None:
+            covers.append(greedy)
+        narrow = self._narrowest_cover(all_attrs, multi, singles)
+        if narrow is not None and narrow not in covers:
+            covers.append(narrow)
+
+        from ..execution.strategies import MAX_FUSED_SINGLES
+
+        costs: List[float] = []
+        for cover in covers:
+            # Mirror the planner's fused_allowed rule: anchored by a
+            # tuple-bearing group, few singleton streams, few streams.
+            singles = sum(1 for group in cover if len(group) == 1)
+            if (
+                len(cover) <= MAX_FUSED_STREAMS
+                and singles <= MAX_FUSED_SINGLES
+                and singles < len(cover)
+            ):
+                specs = self._specs(cover, all_attrs, num_rows)
+                costs.append(self.cost_model.fused_cost(info, specs))
+            costs.append(
+                self.cost_model.late_cost(
+                    info,
+                    self._specs(cover, select_attrs, num_rows),
+                    self._specs(cover, where_attrs, num_rows),
+                )
+            )
+        if not costs:
+            raise ValueError(
+                f"no group cover for attributes {sorted(all_attrs)}"
+            )
+        return min(costs)
+
+    def query_cost(
+        self, info: QueryInfo, extra_groups: Sequence[FrozenSet[str]] = ()
+    ) -> float:
+        """Best estimated cost of one query under existing layouts plus
+        hypothetical ``extra_groups`` (the q_j(C_i) term of Eq. 1).
+
+        Because layouts replicate, adding a group never increases a
+        query's estimated cost (the minimum includes the old covers).
+        """
+        multi, singles = self._group_universe(extra_groups)
+        return self._query_cost_split(info, multi, singles)
+
+    def _workload_cost(
+        self,
+        infos: Sequence[QueryInfo],
+        extra_groups: Sequence[FrozenSet[str]],
+    ) -> float:
+        return sum(self.query_cost(info, extra_groups) for info in infos)
+
+    def _build_cost(self, group: FrozenSet[str]) -> float:
+        """Transformation cost estimate for stitching ``group`` from the
+        narrowest existing providers."""
+        source_width = 0
+        counted = set()
+        for attr in group:
+            providers = self.table.layouts_containing(attr)
+            provider = providers[0]
+            if id(provider) not in counted:
+                counted.add(id(provider))
+                source_width += provider.width
+        return self.cost_model.build_cost_estimate(
+            self.table.num_rows, len(group), source_width
+        )
+
+    # Proposal ---------------------------------------------------------------------
+
+    def propose(self, monitor: Monitor) -> List[CandidateLayout]:
+        """Run one adaptation phase over the monitoring window.
+
+        Returns the ranked candidate pool (best expected gain first),
+        already filtered to groups that actually improve on the current
+        configuration net of their transformation cost.
+
+        The search is the paper's pruned enumeration — clause-level
+        seeds, iterative pairwise merging, Eq. 1 scoring — implemented
+        incrementally: adding a group only re-costs the windowed
+        patterns it intersects, so an adaptation phase stays a small
+        fraction of query processing time.
+        """
+        window = monitor.window
+        if not window:
+            return []
+
+        # Deduplicate the window into weighted patterns: repeated
+        # queries cost the same, so analyze/cost each shape once.
+        weighted: Dict[tuple, list] = {}
+        for query in window:
+            sig = query.signature()
+            key = (sig.select_attrs, sig.where_attrs, sig.structure)
+            entry = weighted.get(key)
+            if entry is None:
+                weighted[key] = [query, 1]
+            else:
+                entry[1] += 1
+        infos: List[QueryInfo] = []
+        weights: List[int] = []
+        for query, count in weighted.values():
+            infos.append(analyze_query(query, self.table.schema))
+            weights.append(count)
+        attr_sets = [frozenset(info.all_attrs) for info in infos]
+
+        multi_existing, singles = self._group_universe(())
+        existing = {layout.attr_set for layout in self.table.layouts}
+
+        # Step 1: narrowest candidate groups from clause-level patterns.
+        seeds: Dict[FrozenSet[str], str] = {}
+        for pattern in monitor.patterns():
+            if len(pattern.attrs) >= 2:
+                seeds.setdefault(pattern.attrs, pattern.clause)
+        # Whole-query access sets are natural fused-scan groups too.
+        for attrs, _count in monitor.distinct_access_sets():
+            if len(attrs) >= 2:
+                seeds.setdefault(attrs, "merge")
+        # Affinity clusters (paper: "attributes accessed together and
+        # have similar frequencies should be grouped together") seed
+        # cross-query groups no single query proposes by itself.
+        affinity_floor = max(2.0, len(window) / 8.0)
+        for matrix, clause in (
+            (monitor.select_affinity, "select"),
+            (monitor.where_affinity, "where"),
+        ):
+            for cluster in matrix.clusters(min_affinity=affinity_floor):
+                if 2 <= len(cluster) <= 48:
+                    seeds.setdefault(cluster, clause)
+        pool = {g: o for g, o in seeds.items() if g not in existing}
+        # Bound the search: keep the most promising seeds (frequent and
+        # wide patterns first) — the paper prunes the same way ("the
+        # size of the initial solution is in the worst case quadratic to
+        # the number of narrow partitions").
+        if len(pool) > 24:
+            freq = {p.attrs: p.count for p in monitor.patterns()}
+            ranked = sorted(
+                pool, key=lambda g: (-freq.get(g, 1), -len(g), sorted(g))
+            )
+            pool = {g: pool[g] for g in ranked[:24]}
+
+        build_cost_memo: Dict[FrozenSet[str], float] = {}
+
+        def build_cost(group: FrozenSet[str]) -> float:
+            cached = build_cost_memo.get(group)
+            if cached is None:
+                cached = self._build_cost(group)
+                build_cost_memo[group] = cached
+            return cached
+
+        # Per-pattern cost under the current configuration + chosen set.
+        cost_q = [
+            self._query_cost_split(info, multi_existing, singles)
+            for info in infos
+        ]
+
+        # Step 2+3: greedy selection with iterative pairwise merging,
+        # evaluated incrementally per intersecting pattern.
+        chosen: List[FrozenSet[str]] = []
+        chosen_origin: Dict[FrozenSet[str], str] = {}
+        first_net = 0.0
+        while len(chosen) < self.config.max_candidates:
+            candidates = dict(pool)
+            # Merging helps only when some query spans both parts (it
+            # removes that query's group-joining overhead, section 3.2);
+            # merges of unrelated groups are pruned without evaluation.
+            for first in chosen:
+                for second in list(pool) + chosen:
+                    merged = first | second
+                    if (
+                        merged == first
+                        or merged == second
+                        or merged in existing
+                        or merged in candidates
+                    ):
+                        continue
+                    if not any(
+                        attrs & first and attrs & second
+                        for attrs in attr_sets
+                    ):
+                        continue
+                    candidates[merged] = "merge"
+            if len(candidates) > 40:
+                ranked = sorted(
+                    candidates,
+                    key=lambda g: (-len(g), sorted(g)),
+                )
+                candidates = {g: candidates[g] for g in ranked[:40]}
+            best_group = None
+            best_net = 0.0
+            best_origin = ""
+            horizon = self.config.future_use_multiplier
+            for group, origin in candidates.items():
+                gain = 0.0
+                multi_try = multi_existing + chosen + [group]
+                for i, attrs in enumerate(attr_sets):
+                    if not attrs & group:
+                        continue
+                    new_cost = self._query_cost_split(
+                        infos[i], multi_try, singles
+                    )
+                    gain += (cost_q[i] - new_cost) * weights[i]
+                net = gain * horizon - build_cost(group)
+                if net > best_net + 1e-15:
+                    best_net = net
+                    best_group = group
+                    best_origin = origin
+            if best_group is None:
+                break
+            if first_net == 0.0:
+                first_net = best_net
+            elif best_net < 0.01 * first_net:
+                break  # diminishing returns; stop searching
+            chosen.append(best_group)
+            chosen_origin[best_group] = best_origin
+            multi_now = multi_existing + chosen
+            for i, attrs in enumerate(attr_sets):
+                if attrs & best_group:
+                    cost_q[i] = self._query_cost_split(
+                        infos[i], multi_now, singles
+                    )
+            pool.pop(best_group, None)
+            # Drop seeds the chosen group already subsumes.
+            pool = {g: o for g, o in pool.items() if not g <= best_group}
+
+        # Wrap the chosen groups as lazy candidates with per-use benefit.
+        candidates_out: List[CandidateLayout] = []
+        order = {n: i for i, n in enumerate(self.table.schema.names)}
+        for group in chosen:
+            frequency = 0
+            saving = 0.0
+            for i, info in enumerate(infos):
+                attrs = attr_sets[i]
+                serves = attrs and (
+                    attrs <= group
+                    or (
+                        info.select_attrs
+                        and frozenset(info.select_attrs) <= group
+                    )
+                    or (
+                        info.where_attrs
+                        and frozenset(info.where_attrs) <= group
+                    )
+                )
+                if not serves:
+                    continue
+                base = self._query_cost_split(
+                    infos[i], multi_existing, singles
+                )
+                with_group = self._query_cost_split(
+                    infos[i], multi_existing + [group], singles
+                )
+                if with_group < base:
+                    frequency += weights[i]
+                    saving += (base - with_group) * weights[i]
+            if frequency == 0:
+                continue
+            candidates_out.append(
+                CandidateLayout(
+                    attrs=tuple(sorted(group, key=order.__getitem__)),
+                    # Expected future uses, not just the windowed count.
+                    frequency=max(
+                        frequency,
+                        int(frequency * self.config.future_use_multiplier),
+                    ),
+                    benefit_per_use=saving / frequency,
+                    build_cost=build_cost(group),
+                    origin=chosen_origin.get(group, "merge"),
+                )
+            )
+        candidates_out.sort(key=lambda c: -c.expected_gain)
+        return candidates_out

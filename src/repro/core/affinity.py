@@ -1,0 +1,99 @@
+"""Attribute affinity matrices (paper section 3.2, citing Navathe [38]).
+
+Affinity between two attributes is how often they are accessed together
+within one clause.  H2O keeps two matrices — one for SELECT-clause
+co-access, one for WHERE-clause co-access — so that, e.g., predicates
+that are evaluated together can get their own column group driving a
+selection vector, independently of the projection groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+import numpy as np
+
+from ..storage.schema import Schema
+
+
+class AffinityMatrix:
+    """Symmetric co-access counts over a schema's attributes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._index = {name: i for i, name in enumerate(schema.names)}
+        self._matrix = np.zeros((schema.width, schema.width), dtype=np.float64)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw (width × width) count matrix (diagonal = frequency)."""
+        return self._matrix
+
+    def add(self, attrs: Iterable[str], weight: float = 1.0) -> None:
+        """Record one access touching ``attrs`` together."""
+        positions = [self._index[name] for name in attrs if name in self._index]
+        if not positions:
+            return
+        idx = np.array(positions, dtype=np.intp)
+        self._matrix[np.ix_(idx, idx)] += weight
+
+    def remove(self, attrs: Iterable[str], weight: float = 1.0) -> None:
+        """Forget one previously recorded access (window eviction)."""
+        self.add(attrs, -weight)
+        np.maximum(self._matrix, 0.0, out=self._matrix)
+
+    def affinity(self, first: str, second: str) -> float:
+        """Co-access count of two attributes."""
+        return float(
+            self._matrix[self._index[first], self._index[second]]
+        )
+
+    def frequency(self, attr: str) -> float:
+        """How often ``attr`` was accessed at all."""
+        position = self._index[attr]
+        return float(self._matrix[position, position])
+
+    def hot_attributes(self, limit: int = 0) -> List[Tuple[str, float]]:
+        """Attributes by access frequency, hottest first."""
+        pairs = [
+            (name, float(self._matrix[i, i]))
+            for name, i in self._index.items()
+            if self._matrix[i, i] > 0
+        ]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        return pairs[:limit] if limit else pairs
+
+    def clusters(self, min_affinity: float = 1.0) -> List[FrozenSet[str]]:
+        """Connected components of the affinity graph above a threshold.
+
+        A cheap clustering used for reporting and as a sanity input to
+        the advisor: attributes whose pairwise affinity clears the
+        threshold land in the same cluster.
+        """
+        names = self.schema.names
+        adjacency: Dict[str, set] = {name: set() for name in names}
+        for i, first in enumerate(names):
+            for j in range(i + 1, len(names)):
+                if self._matrix[i, j] >= min_affinity:
+                    second = names[j]
+                    adjacency[first].add(second)
+                    adjacency[second].add(first)
+        seen: set = set()
+        components: List[FrozenSet[str]] = []
+        for name in names:
+            if name in seen or self._matrix[self._index[name], self._index[name]] <= 0:
+                continue
+            stack = [name]
+            component = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(adjacency[node] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def reset(self) -> None:
+        self._matrix[:] = 0.0

@@ -1,0 +1,115 @@
+"""Workload monitoring over a window of recent queries.
+
+H2O "uses a dynamic window of N queries to monitor the access patterns
+of the incoming queries" and keeps "statistics about attribute usage and
+frequency of attributes accessed together" in two affinity matrices
+(paper section 3.2).  The monitor maintains exactly that: a bounded
+deque of query signatures, the two matrices updated incrementally on
+entry/eviction, and pattern frequencies the advisor consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, List, Tuple
+
+from ..sql.query import Query, QuerySignature
+from ..storage.schema import Schema
+from .affinity import AffinityMatrix
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One observed clause-level access set with its frequency."""
+
+    attrs: FrozenSet[str]
+    clause: str  # "select" | "where"
+    count: int
+
+
+class Monitor:
+    """Sliding-window access statistics."""
+
+    def __init__(self, schema: Schema, capacity: int) -> None:
+        self.schema = schema
+        self.capacity = capacity
+        self._window: Deque[Query] = deque()
+        self.select_affinity = AffinityMatrix(schema)
+        self.where_affinity = AffinityMatrix(schema)
+        self._select_patterns: Counter = Counter()
+        self._where_patterns: Counter = Counter()
+        self.queries_seen = 0
+
+    # Window maintenance ----------------------------------------------------
+
+    def observe(self, query: Query) -> None:
+        """Record one query; evicts the oldest beyond the capacity."""
+        signature = query.signature()
+        self.queries_seen += 1
+        self._window.append(query)
+        if signature.select_attrs:
+            self.select_affinity.add(signature.select_attrs)
+            self._select_patterns[signature.select_attrs] += 1
+        if signature.where_attrs:
+            self.where_affinity.add(signature.where_attrs)
+            self._where_patterns[signature.where_attrs] += 1
+        while len(self._window) > self.capacity:
+            self._evict()
+
+    def _evict(self) -> None:
+        evicted = self._window.popleft().signature()
+        if evicted.select_attrs:
+            self.select_affinity.remove(evicted.select_attrs)
+            self._select_patterns[evicted.select_attrs] -= 1
+            if self._select_patterns[evicted.select_attrs] <= 0:
+                del self._select_patterns[evicted.select_attrs]
+        if evicted.where_attrs:
+            self.where_affinity.remove(evicted.where_attrs)
+            self._where_patterns[evicted.where_attrs] -= 1
+            if self._where_patterns[evicted.where_attrs] <= 0:
+                del self._where_patterns[evicted.where_attrs]
+
+    def resize(self, capacity: int) -> None:
+        """Adjust the window capacity (the dynamic-window mechanism)."""
+        self.capacity = capacity
+        while len(self._window) > self.capacity:
+            self._evict()
+
+    # Views for the advisor ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def window(self) -> Tuple[Query, ...]:
+        """The windowed queries, oldest first."""
+        return tuple(self._window)
+
+    def patterns(self) -> List[AccessPattern]:
+        """Distinct clause-level access sets with frequencies,
+        most frequent first — the advisor's initial candidate pool."""
+        result: List[AccessPattern] = []
+        for attrs, count in self._select_patterns.items():
+            result.append(AccessPattern(attrs, "select", count))
+        for attrs, count in self._where_patterns.items():
+            result.append(AccessPattern(attrs, "where", count))
+        result.sort(key=lambda p: (-p.count, -len(p.attrs), sorted(p.attrs)))
+        return result
+
+    def pattern_frequency(self, attrs: FrozenSet[str]) -> int:
+        """How many windowed queries' full access set is ⊆ ``attrs``."""
+        return sum(
+            1
+            for query in self._window
+            if query.attributes and query.attributes <= attrs
+        )
+
+    def distinct_access_sets(self) -> List[Tuple[FrozenSet[str], int]]:
+        """Distinct whole-query attribute sets with frequencies."""
+        counter: Counter = Counter(
+            query.attributes for query in self._window if query.attributes
+        )
+        return sorted(
+            counter.items(), key=lambda item: (-item[1], sorted(item[0]))
+        )

@@ -1,0 +1,183 @@
+"""Data reorganization, offline and online (paper section 3.2, Fig. 13).
+
+*Offline* reorganization stitches the new layout in a dedicated pass and
+only then executes the query — two scans of the data.
+
+*Online* reorganization is H2O's approach: a single physical operator
+both builds the new layout and computes the query result block by block.
+Each stitched block is written into the new group's backing array and,
+while it is still cache-hot, the query's predicate and output
+expressions are evaluated on it.  The relation is scanned once for both
+tasks ("the early materialization strategy allows H2O to generate the
+data layout and compute the query result without scanning the relation
+twice").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import EngineConfig
+from ..errors import ExecutionError
+from ..execution.evaluator import (
+    AggregateAccumulator,
+    collect_aggregates,
+    evaluate_predicate,
+    evaluate_value,
+    finalize_output,
+)
+from ..execution.result import QueryResult
+from ..execution.volcano import projection_dtype
+from ..sql.analyzer import QueryInfo
+from ..storage.column_group import ColumnGroup
+from ..storage.relation import Table
+from ..storage.stitcher import stitch_group
+from ..util.timing import Timer
+
+
+@dataclass
+class ReorgOutcome:
+    """Result of one reorganization, with its timing split."""
+
+    group: ColumnGroup
+    result: Optional[QueryResult]
+    seconds: float
+    mode: str  # "online" | "offline"
+
+
+class Reorganizer:
+    """Builds new column groups, optionally fused with a query."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+
+    # Offline --------------------------------------------------------------------
+
+    def offline(self, table: Table, attrs: Iterable[str]) -> ReorgOutcome:
+        """Stitch the group in a dedicated pass (no query involved)."""
+        ordered = table.schema.ordered(attrs)
+        sources = table.covering_layouts(ordered)
+        full_width = len(ordered) == table.schema.width
+        with Timer() as timer:
+            group, _stats = stitch_group(
+                sources, ordered, table.schema, full_width=full_width
+            )
+        return ReorgOutcome(
+            group=group, result=None, seconds=timer.elapsed, mode="offline"
+        )
+
+    # Online ---------------------------------------------------------------------
+
+    def online(
+        self, table: Table, attrs: Iterable[str], info: QueryInfo
+    ) -> ReorgOutcome:
+        """One pass: build the group *and* answer ``info`` from it.
+
+        The query need not be fully contained in the new group: a
+        select-clause group can be built while the predicate reads
+        attributes from the existing layouts (and vice versa for a
+        where-clause group) — the online operator resolves such
+        attributes from their current providers.
+        """
+        ordered = table.schema.ordered(attrs)
+        with Timer() as timer:
+            group, result = self._online_pass(table, ordered, info)
+        return ReorgOutcome(
+            group=group, result=result, seconds=timer.elapsed, mode="online"
+        )
+
+    def _online_pass(
+        self, table: Table, ordered: Tuple[str, ...], info: QueryInfo
+    ) -> Tuple[ColumnGroup, QueryResult]:
+        schema = table.schema
+        num_rows = table.num_rows
+        dtype = schema.common_dtype(ordered).numpy_dtype
+        position = {attr: i for i, attr in enumerate(ordered)}
+        # Pick, per attribute, the narrowest source column (a view).
+        # Query attributes outside the new group are read from their
+        # providers too (a select-clause group may be built while the
+        # predicate still reads existing layouts, and vice versa).
+        sources = {}
+        for attr in set(ordered) | set(info.all_attrs):
+            provider = table.layouts_containing(attr)[0]
+            sources[attr] = provider.column(attr)
+
+        data = np.empty((num_rows, len(ordered)), dtype=dtype)
+        block_rows = self.config.vector_size
+
+        aggregates = (
+            collect_aggregates(info.query.select)
+            if info.is_aggregation
+            else ()
+        )
+        accumulators = {
+            agg: AggregateAccumulator(agg.func) for agg in aggregates
+        }
+        out_blocks: List[np.ndarray] = []
+        out_dtype = None if info.is_aggregation else projection_dtype(info)
+
+        for start in range(0, num_rows, block_rows):
+            stop = min(start + block_rows, num_rows)
+            block = data[start:stop]
+            # The stitch: copy source slices into the new layout's block.
+            for attr in ordered:
+                block[:, position[attr]] = sources[attr][start:stop]
+
+            # The query: evaluate on the cache-hot stitched block.
+            def resolve(
+                name: str, _block=block, _start=start, _stop=stop
+            ) -> np.ndarray:
+                index = position.get(name)
+                if index is None:  # attribute outside the new group
+                    return sources[name][_start:_stop]
+                return _block[:, index]
+
+            if info.has_predicate:
+                mask = evaluate_predicate(info.query.where, resolve)
+                kept = int(mask.sum())
+                if kept == 0:
+                    continue
+
+                def resolve_q(name: str, _resolve=resolve, _mask=mask):
+                    return _resolve(name)[_mask]
+
+                row_resolver = resolve_q
+                row_count = kept
+            else:
+                row_resolver = resolve
+                row_count = stop - start
+
+            if info.is_aggregation:
+                for agg, state in accumulators.items():
+                    if agg.arg is None:
+                        state.update(None, row_count)
+                    else:
+                        state.update(
+                            evaluate_value(agg.arg, row_resolver), row_count
+                        )
+            else:
+                out = np.empty(
+                    (row_count, len(info.query.select)), dtype=out_dtype
+                )
+                for j, out_col in enumerate(info.query.select):
+                    out[:, j] = evaluate_value(out_col.expr, row_resolver)
+                out_blocks.append(out)
+
+        full_width = len(ordered) == schema.width
+        group = ColumnGroup(ordered, data, full_width=full_width)
+        names = [out.name for out in info.query.select]
+        if info.is_aggregation:
+            agg_values = {
+                agg: state.finalize() for agg, state in accumulators.items()
+            }
+            values = [
+                finalize_output(out.expr, agg_values)
+                for out in info.query.select
+            ]
+            result = QueryResult.scalar_row(names, values)
+        else:
+            result = QueryResult.from_blocks(names, out_blocks, out_dtype)
+        return group, result

@@ -1,0 +1,92 @@
+"""Multi-table facade: one adaptive engine per registered table.
+
+The paper's prototype (and :class:`~repro.core.engine.H2OEngine`) serve
+one relation; a database holds many.  :class:`H2OSystem` wraps a
+:class:`~repro.storage.catalog.Catalog` and lazily maintains one
+independent H2O engine per table — each with its own monitor, window,
+candidate pool and operator cache, since adaptation state is strictly
+per-relation.  Queries are routed by their FROM table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..config import EngineConfig
+from ..errors import CatalogError
+from ..sql.parser import parse_query
+from ..sql.query import Query
+from ..storage.catalog import Catalog
+from ..storage.relation import Table
+from .engine import H2OEngine, QueryReport
+
+
+class H2OSystem:
+    """Adaptive query processing over a catalog of tables."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.catalog = catalog or Catalog()
+        self.config = config or EngineConfig()
+        self._engines: Dict[str, H2OEngine] = {}
+
+    # Catalog management -----------------------------------------------------
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add a table; its engine is created on first query."""
+        self.catalog.register(table, replace=replace)
+        if replace:
+            self._engines.pop(table.name, None)
+
+    def drop(self, name: str) -> None:
+        """Remove a table and its adaptation state."""
+        self.catalog.drop(name)
+        self._engines.pop(name, None)
+
+    def engine_for(self, name: str) -> H2OEngine:
+        """The (lazily created) engine serving table ``name``."""
+        engine = self._engines.get(name)
+        if engine is None:
+            table = self.catalog.get(name)
+            engine = H2OEngine(table, self.config)
+            self._engines[name] = engine
+        return engine
+
+    # Querying ------------------------------------------------------------------
+
+    def execute(self, query: Union[Query, str]) -> QueryReport:
+        """Route a query to its table's engine and execute it."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.table not in self.catalog:
+            raise CatalogError(
+                f"unknown table {query.table!r} (registered: "
+                + (", ".join(sorted(self.catalog)) or "<none>")
+                + ")"
+            )
+        return self.engine_for(query.table).execute(query)
+
+    def run_sequence(self, queries) -> List[QueryReport]:
+        return [self.execute(q) for q in queries]
+
+    # Reporting -------------------------------------------------------------------
+
+    def cumulative_seconds(self) -> float:
+        return sum(
+            engine.cumulative_seconds() for engine in self._engines.values()
+        )
+
+    def describe(self) -> str:
+        """Status of every active engine."""
+        if not self._engines:
+            return (
+                f"H2O system: {len(self.catalog)} table(s) registered, "
+                "no queries yet"
+            )
+        parts = []
+        for name in sorted(self._engines):
+            parts.append(self._engines[name].describe())
+        return "\n\n".join(parts)

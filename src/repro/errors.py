@@ -1,0 +1,95 @@
+"""Exception hierarchy for the H2O reproduction.
+
+Every error raised by the library derives from :class:`H2OError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the failure domain (SQL, storage, execution, codegen, ...).
+"""
+
+from __future__ import annotations
+
+
+class H2OError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SQLError(H2OError):
+    """Base class for query-representation and parsing errors."""
+
+
+class ParseError(SQLError):
+    """Raised when the SQL-subset parser rejects an input string.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset in the input at which the error was detected,
+        or ``None`` when the position is unknown.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None) -> None:
+        self.message = message
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class AnalysisError(SQLError):
+    """Raised when a syntactically valid query fails semantic analysis.
+
+    Examples: referencing an attribute that is not part of the schema,
+    mixing aggregate and non-aggregate output expressions, or applying an
+    aggregate to another aggregate.
+    """
+
+
+class StorageError(H2OError):
+    """Base class for storage-layer errors (schemas, layouts, catalogs)."""
+
+
+class SchemaError(StorageError):
+    """Raised for malformed schemas: duplicate names, unknown attributes,
+    unsupported data types, or empty attribute lists."""
+
+
+class LayoutError(StorageError):
+    """Raised when a layout is built or accessed inconsistently, e.g. a
+    column group whose data width does not match its attribute list, or a
+    partitioning that does not cover the schema."""
+
+
+class CatalogError(StorageError):
+    """Raised for catalog misuse: duplicate table registration or lookup
+    of an unknown table."""
+
+
+class ExecutionError(H2OError):
+    """Raised when a physical plan cannot be executed, e.g. the available
+    layouts do not cover the attributes a query needs."""
+
+
+class CodegenError(H2OError):
+    """Raised when operator generation fails: unknown template, a query
+    shape the templates do not support, or generated source that does not
+    compile."""
+
+
+class CostModelError(H2OError):
+    """Raised when the cost model is asked to cost an impossible access,
+    e.g. a layout that does not contain the requested attributes."""
+
+
+class AdaptationError(H2OError):
+    """Raised by the adaptation mechanism for invalid configuration, e.g.
+    a non-positive monitoring window."""
+
+
+class WorkloadError(H2OError):
+    """Raised by workload generators for invalid parameters, e.g. asking
+    for more attributes than the schema has."""
+
+
+class BenchmarkError(H2OError):
+    """Raised by the benchmark harness, e.g. for an unknown experiment id."""

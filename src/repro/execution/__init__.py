@@ -1,0 +1,35 @@
+"""Query execution: strategies, operators, results.
+
+Two execution strategies coexist, mirroring the paper (section 3.3):
+
+- **Fused scan** (:mod:`repro.execution.volcano`): volcano-style single
+  pass with predicate push-down — the natural strategy for row-major and
+  group layouts (Fig. 5).
+- **Late materialization** (:mod:`repro.execution.vectorized`):
+  column-store style — predicates produce selection vectors, qualifying
+  values are gathered into intermediate columns, arithmetic materializes
+  one intermediate per operator (Fig. 6).
+
+Both strategies exist in two forms: the *interpreted* form in this
+package (the "generic operator" of Fig. 14, paying tree-walking dispatch
+per vector) and the *generated* form produced by :mod:`repro.codegen`.
+Either form, over any layout combination, must return identical results;
+the integration tests assert exactly that.
+"""
+
+from .result import QueryResult
+from .selection import SelectionVector
+from .vector import BlockCursor
+from .strategies import AccessPlan, ExecutionStrategy, enumerate_plans
+from .executor import ExecStats, Executor
+
+__all__ = [
+    "QueryResult",
+    "SelectionVector",
+    "BlockCursor",
+    "AccessPlan",
+    "ExecutionStrategy",
+    "enumerate_plans",
+    "Executor",
+    "ExecStats",
+]

@@ -1,0 +1,194 @@
+"""Generic (interpreted) expression evaluation.
+
+This is the "generic database operator" of the paper's Fig. 14: a
+tree-walking evaluator that dispatches on node type for every vector and
+materializes a fresh intermediate array for every operator.  It is
+deliberately *not* specialized — that overhead is the thing the
+on-the-fly generated operators (:mod:`repro.codegen`) remove.
+
+The evaluator is also the semantic reference: generated kernels must
+produce bit-identical results to it (integration tests enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..sql.expressions import (
+    Aggregate,
+    AggregateFunc,
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    Not,
+)
+
+Resolver = Callable[[str], np.ndarray]
+
+_ARITH_FUNCS = {
+    ArithmeticOp.ADD: np.add,
+    ArithmeticOp.SUB: np.subtract,
+    ArithmeticOp.MUL: np.multiply,
+}
+
+_CMP_FUNCS = {
+    ComparisonOp.LT: np.less,
+    ComparisonOp.LE: np.less_equal,
+    ComparisonOp.GT: np.greater,
+    ComparisonOp.GE: np.greater_equal,
+    ComparisonOp.EQ: np.equal,
+    ComparisonOp.NE: np.not_equal,
+}
+
+
+def evaluate_value(expr: Expr, resolve: Resolver) -> np.ndarray:
+    """Evaluate an arithmetic expression to an array (or 0-d scalar).
+
+    Every Arithmetic node allocates a fresh output array — the
+    full-materialization behaviour of a generic column-at-a-time
+    operator (paper section 2.1: "one intermediate for a+b and one for
+    the addition of the previous intermediate with c").
+    """
+    if isinstance(expr, Literal):
+        return np.asarray(expr.value)
+    if isinstance(expr, ColumnRef):
+        return resolve(expr.name)
+    if isinstance(expr, Arithmetic):
+        left = evaluate_value(expr.left, resolve)
+        right = evaluate_value(expr.right, resolve)
+        return _ARITH_FUNCS[expr.op](left, right)
+    if isinstance(expr, Aggregate):
+        raise ExecutionError(
+            "aggregate encountered during value evaluation; aggregates "
+            "are computed by the aggregation operator"
+        )
+    raise ExecutionError(f"cannot evaluate {expr!r} as a value")
+
+
+def evaluate_predicate(expr: Expr, resolve: Resolver) -> np.ndarray:
+    """Evaluate a boolean expression to a boolean mask array."""
+    if isinstance(expr, Comparison):
+        left = evaluate_value(expr.left, resolve)
+        right = evaluate_value(expr.right, resolve)
+        return _CMP_FUNCS[expr.op](left, right)
+    if isinstance(expr, BooleanOp):
+        left = evaluate_predicate(expr.left, resolve)
+        right = evaluate_predicate(expr.right, resolve)
+        if expr.op is BoolConnective.AND:
+            return np.logical_and(left, right)
+        return np.logical_or(left, right)
+    if isinstance(expr, Not):
+        return np.logical_not(evaluate_predicate(expr.child, resolve))
+    raise ExecutionError(f"cannot evaluate {expr!r} as a predicate")
+
+
+class AggregateAccumulator:
+    """Streaming state for one aggregate call across blocks."""
+
+    __slots__ = ("func", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, func: AggregateFunc) -> None:
+        self.func = func
+        self._sum = 0.0
+        self._count = 0
+        self._min: "float | None" = None
+        self._max: "float | None" = None
+
+    def update(self, values: "np.ndarray | None", count: int) -> None:
+        """Fold one block of qualifying values into the state.
+
+        ``values`` is None for COUNT(*) (only the count matters).
+        """
+        if count == 0:
+            return
+        self._count += count
+        if self.func is AggregateFunc.COUNT:
+            return
+        if values is None:
+            raise ExecutionError(f"{self.func.value}() needs values")
+        if self.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+            self._sum += float(values.sum(dtype=np.float64))
+        elif self.func is AggregateFunc.MIN:
+            block_min = float(values.min())
+            self._min = (
+                block_min if self._min is None else min(self._min, block_min)
+            )
+        elif self.func is AggregateFunc.MAX:
+            block_max = float(values.max())
+            self._max = (
+                block_max if self._max is None else max(self._max, block_max)
+            )
+
+    def merge(self, other: "AggregateAccumulator") -> None:
+        """Combine another partial state (same function) into this one."""
+        if other.func is not self.func:
+            raise ExecutionError("cannot merge different aggregate states")
+        self._count += other._count
+        self._sum += other._sum
+        for mine, theirs, pick in (
+            ("_min", other._min, min),
+            ("_max", other._max, max),
+        ):
+            if theirs is not None:
+                current = getattr(self, mine)
+                setattr(
+                    self,
+                    mine,
+                    theirs if current is None else pick(current, theirs),
+                )
+
+    def finalize(self) -> float:
+        """The aggregate's final scalar value.
+
+        Empty inputs follow numpy-friendly conventions: SUM→0, COUNT→0,
+        MIN/MAX/AVG→NaN.
+        """
+        if self.func is AggregateFunc.COUNT:
+            return float(self._count)
+        if self.func is AggregateFunc.SUM:
+            return self._sum
+        if self.func is AggregateFunc.AVG:
+            return self._sum / self._count if self._count else float("nan")
+        if self.func is AggregateFunc.MIN:
+            return self._min if self._min is not None else float("nan")
+        return self._max if self._max is not None else float("nan")
+
+
+def finalize_output(expr: Expr, agg_values: Dict[Aggregate, float]) -> float:
+    """Evaluate an output expression whose aggregates are now scalars.
+
+    Supports arithmetic *over* aggregates, e.g. ``sum(a) - min(b)``.
+    """
+    if isinstance(expr, Aggregate):
+        return agg_values[expr]
+    if isinstance(expr, Literal):
+        return float(expr.value)
+    if isinstance(expr, Arithmetic):
+        left = finalize_output(expr.left, agg_values)
+        right = finalize_output(expr.right, agg_values)
+        if expr.op is ArithmeticOp.ADD:
+            return left + right
+        if expr.op is ArithmeticOp.SUB:
+            return left - right
+        return left * right
+    raise ExecutionError(
+        f"unsupported expression over aggregates: {expr.to_sql()}"
+    )
+
+
+def collect_aggregates(outputs) -> Tuple[Aggregate, ...]:
+    """Unique aggregate nodes across the output expressions, in order."""
+    seen: Dict[Aggregate, None] = {}
+    for out in outputs:
+        for agg in out.expr.aggregates():
+            seen.setdefault(agg, None)
+    return tuple(seen.keys())

@@ -1,0 +1,161 @@
+"""The low-level plan runner.
+
+Given an analyzed query and a concrete :class:`AccessPlan`, the executor
+runs it either through the generated kernel path (default — H2O's
+on-the-fly operators) or through the interpreted operators (the generic
+fallback and Fig. 14 baseline).  Strategy and layout decisions are *not*
+made here; the engine (or a baseline) passes an explicit plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..config import EngineConfig
+from ..sql.analyzer import QueryInfo
+from .result import QueryResult
+from .strategies import AccessPlan, ExecutionStrategy
+from .vectorized import run_late_interpreted
+from .volcano import run_fused_interpreted
+
+
+@dataclass
+class ExecStats:
+    """What happened while executing one plan."""
+
+    strategy: ExecutionStrategy
+    plan: str
+    used_codegen: bool = False
+    codegen_cache_hit: bool = False
+    #: Seconds spent generating + compiling operator source (charged to
+    #: the query, as in the paper).
+    codegen_seconds: float = 0.0
+    #: Bytes of intermediate results materialized during execution.
+    intermediate_bytes: int = 0
+    rows_out: int = 0
+    #: Filled in by the engine when the query also built a layout.
+    reorg_seconds: float = 0.0
+    layout_created: Optional[str] = None
+    extras: dict = field(default_factory=dict)
+
+
+class Executor:
+    """Runs access plans; owns the operator cache when codegen is on."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        # Imported lazily-ish at construction to keep module import light
+        # and one-directional (codegen only imports execution submodules).
+        from ..codegen.cache import OperatorCache
+
+        self.operator_cache = OperatorCache(
+            enabled=self.config.operator_cache
+        )
+
+    def run_plan(
+        self, info: QueryInfo, plan: AccessPlan
+    ) -> Tuple[QueryResult, ExecStats]:
+        """Execute ``info`` with ``plan`` and report what happened."""
+        if not info.all_attrs:
+            return self._run_attribute_free(info, plan)
+        if self.config.use_codegen:
+            return self._run_generated(info, plan)
+        return self._run_interpreted(info, plan)
+
+    def _run_attribute_free(
+        self, info: QueryInfo, plan: AccessPlan
+    ) -> Tuple[QueryResult, ExecStats]:
+        """Queries that read no attributes (e.g. ``SELECT count(*)``)."""
+        import numpy as np
+
+        from .evaluator import (
+            AggregateAccumulator,
+            collect_aggregates,
+            finalize_output,
+        )
+
+        num_rows = plan.layouts[0].num_rows
+        names = [out.name for out in info.query.select]
+        if info.is_aggregation:
+            agg_values = {}
+            for agg in collect_aggregates(info.query.select):
+                state = AggregateAccumulator(agg.func)
+                if agg.arg is None:
+                    state.update(None, num_rows)
+                else:
+                    # A constant argument repeated for every tuple.
+                    from .evaluator import evaluate_value
+
+                    value = evaluate_value(agg.arg, lambda _n: None)
+                    state.update(
+                        np.full(num_rows, float(value)), num_rows
+                    )
+                agg_values[agg] = state.finalize()
+            values = [
+                finalize_output(out.expr, agg_values)
+                for out in info.query.select
+            ]
+            result = QueryResult.scalar_row(names, values)
+        else:
+            from .evaluator import evaluate_value
+
+            block = np.empty(
+                (num_rows, len(info.query.select)), dtype=np.float64
+            )
+            for position, out in enumerate(info.query.select):
+                block[:, position] = float(
+                    evaluate_value(out.expr, lambda _n: None)
+                )
+            result = QueryResult(names, block)
+        stats = ExecStats(
+            strategy=plan.strategy,
+            plan="attribute-free",
+            rows_out=result.num_rows,
+        )
+        return result, stats
+
+    # Interpreted path ------------------------------------------------------
+
+    def _run_interpreted(
+        self, info: QueryInfo, plan: AccessPlan
+    ) -> Tuple[QueryResult, ExecStats]:
+        num_rows = plan.layouts[0].num_rows
+        if plan.strategy is ExecutionStrategy.FUSED:
+            result, intermediate = run_fused_interpreted(
+                info, plan.layouts, self.config.vector_size
+            )
+        else:
+            result, intermediate = run_late_interpreted(
+                info, plan.layouts, num_rows
+            )
+        stats = ExecStats(
+            strategy=plan.strategy,
+            plan=plan.describe(),
+            used_codegen=False,
+            intermediate_bytes=intermediate,
+            rows_out=result.num_rows,
+        )
+        return result, stats
+
+    # Generated path --------------------------------------------------------
+
+    def _run_generated(
+        self, info: QueryInfo, plan: AccessPlan
+    ) -> Tuple[QueryResult, ExecStats]:
+        from ..codegen.generator import generate_operator
+
+        operator, gen_seconds, cache_hit = generate_operator(
+            info, plan, self.config, self.operator_cache
+        )
+        result, intermediate = operator.run(plan.layouts)
+        stats = ExecStats(
+            strategy=plan.strategy,
+            plan=plan.describe(),
+            used_codegen=True,
+            codegen_cache_hit=cache_hit,
+            codegen_seconds=gen_seconds,
+            intermediate_bytes=intermediate,
+            rows_out=result.num_rows,
+        )
+        return result, stats

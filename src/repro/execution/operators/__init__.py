@@ -1,0 +1,23 @@
+"""Generic volcano-style physical operators.
+
+These are the *interpreted* operators: each implements ``open`` /
+``next_chunk`` / ``close`` and passes vectors (chunks of columns) up the
+pipeline, evaluating expressions with the tree-walking evaluator.  They
+are the baseline that on-the-fly generated code beats in Fig. 14, and
+the semantic reference every generated kernel is tested against.
+"""
+
+from .base import Chunk, Operator
+from .scan import LayoutScan
+from .filter import Filter
+from .project import Project
+from .aggregate import Aggregate as AggregateOperator
+
+__all__ = [
+    "Chunk",
+    "Operator",
+    "LayoutScan",
+    "Filter",
+    "Project",
+    "AggregateOperator",
+]

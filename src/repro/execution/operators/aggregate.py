@@ -1,0 +1,73 @@
+"""Aggregation operator: streams chunks into aggregate accumulators."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ...sql.expressions import Aggregate as AggregateExpr
+from ...sql.query import OutputColumn
+from ..evaluator import (
+    AggregateAccumulator,
+    collect_aggregates,
+    evaluate_value,
+    finalize_output,
+)
+from ..result import QueryResult
+from .base import Chunk, Operator
+
+
+class Aggregate(Operator):
+    """Consumes its child entirely and produces the one-row result.
+
+    Aggregate arguments are evaluated per chunk with the interpreted
+    evaluator, folded into streaming accumulators, and the output
+    expressions (which may combine several aggregates arithmetically)
+    are finalized at the end.
+    """
+
+    def __init__(
+        self, child: Operator, outputs: Sequence[OutputColumn]
+    ) -> None:
+        self._child = child
+        self._outputs = tuple(outputs)
+        self._aggregates = collect_aggregates(self._outputs)
+        self._accumulators: Dict[AggregateExpr, AggregateAccumulator] = {}
+        self._done = False
+
+    def open(self) -> None:
+        self._child.open()
+        self._accumulators = {
+            agg: AggregateAccumulator(agg.func) for agg in self._aggregates
+        }
+        self._done = False
+
+    def next_chunk(self) -> Optional[Chunk]:
+        if self._done:
+            return None
+        while True:
+            chunk = self._child.next_chunk()
+            if chunk is None:
+                break
+            for agg, state in self._accumulators.items():
+                if agg.arg is None:  # COUNT(*)
+                    state.update(None, chunk.num_rows)
+                else:
+                    values = evaluate_value(agg.arg, chunk.col)
+                    state.update(values, chunk.num_rows)
+        self._done = True
+        return Chunk(num_rows=1, columns={})
+
+    def result(self) -> QueryResult:
+        """Finalize into the one-row query result (after exhaustion)."""
+        agg_values = {
+            agg: state.finalize()
+            for agg, state in self._accumulators.items()
+        }
+        values = [
+            finalize_output(out.expr, agg_values) for out in self._outputs
+        ]
+        names = [out.name for out in self._outputs]
+        return QueryResult.scalar_row(names, values)
+
+    def close(self) -> None:
+        self._child.close()

@@ -1,0 +1,68 @@
+"""Operator protocol and the chunk format flowing between operators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...errors import ExecutionError
+
+
+@dataclass
+class Chunk:
+    """A vector of tuples represented as named column slices.
+
+    ``columns`` maps attribute name to a 1-D array; all arrays share
+    ``num_rows`` entries.  Chunks own no schema: an operator only sees
+    the columns its producer chose to pass on.
+    """
+
+    num_rows: int
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def col(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(
+                f"chunk has no column {name!r}; has "
+                f"{sorted(self.columns)}"
+            ) from None
+
+    def validate(self) -> None:
+        """Check the row-count consistency invariant (used in tests)."""
+        for name, array in self.columns.items():
+            if len(array) != self.num_rows:
+                raise ExecutionError(
+                    f"column {name!r} has {len(array)} rows, chunk says "
+                    f"{self.num_rows}"
+                )
+
+
+class Operator(abc.ABC):
+    """Volcano-style operator: a pull-based iterator of chunks."""
+
+    @abc.abstractmethod
+    def open(self) -> None:
+        """Prepare for iteration (resets any prior state)."""
+
+    @abc.abstractmethod
+    def next_chunk(self) -> Optional[Chunk]:
+        """The next chunk, or ``None`` when exhausted."""
+
+    def close(self) -> None:
+        """Release resources (default: nothing to do)."""
+
+    def __iter__(self):
+        self.open()
+        try:
+            while True:
+                chunk = self.next_chunk()
+                if chunk is None:
+                    return
+                yield chunk
+        finally:
+            self.close()

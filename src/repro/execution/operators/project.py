@@ -1,0 +1,51 @@
+"""Projection operator: computes output expressions into row-major blocks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...sql.query import OutputColumn
+from ..evaluator import evaluate_value
+from .base import Chunk, Operator
+
+
+class Project(Operator):
+    """Evaluates the SELECT list and emits row-major output blocks.
+
+    Every strategy in H2O materializes its final output in contiguous
+    row-major blocks (paper section 3.3); the produced chunk carries a
+    single 2-D ``__output__`` column holding that block.
+    """
+
+    OUTPUT_KEY = "__output__"
+
+    def __init__(
+        self,
+        child: Operator,
+        outputs: Sequence[OutputColumn],
+        dtype: np.dtype = np.dtype(np.float64),
+    ) -> None:
+        self._child = child
+        self._outputs = tuple(outputs)
+        self._dtype = dtype
+
+    def open(self) -> None:
+        self._child.open()
+
+    def next_chunk(self) -> Optional[Chunk]:
+        chunk = self._child.next_chunk()
+        if chunk is None:
+            return None
+        block = np.empty(
+            (chunk.num_rows, len(self._outputs)), dtype=self._dtype
+        )
+        for position, out in enumerate(self._outputs):
+            block[:, position] = evaluate_value(out.expr, chunk.col)
+        return Chunk(
+            num_rows=chunk.num_rows, columns={self.OUTPUT_KEY: block}
+        )
+
+    def close(self) -> None:
+        self._child.close()

@@ -1,0 +1,145 @@
+"""Selection vectors: materialized lists of qualifying tuple positions.
+
+Column-store style execution (paper section 2.1, Fig. 6) evaluates each
+predicate into a vector of matching positions, refines it predicate by
+predicate, and finally uses it to fetch the SELECT-clause values.  The
+materialization cost of these vectors is exactly the overhead the fused
+strategy avoids — so this class also tracks how many bytes it has
+materialized, which feeds the cost model's intermediate-result term.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class SelectionVector:
+    """Positions of qualifying tuples, in ascending order.
+
+    ``positions is None`` encodes the virgin state "all N rows qualify"
+    without materializing anything, so a query with no WHERE clause pays
+    no selection-vector cost.
+    """
+
+    __slots__ = ("_num_rows", "_positions", "materialized_bytes")
+
+    def __init__(
+        self, num_rows: int, positions: Optional[np.ndarray] = None
+    ) -> None:
+        if num_rows < 0:
+            raise ExecutionError(f"negative row count: {num_rows}")
+        self._num_rows = num_rows
+        if positions is not None:
+            positions = np.asarray(positions, dtype=np.intp)
+            if positions.ndim != 1:
+                raise ExecutionError("positions must be 1-D")
+        self._positions = positions
+        self.materialized_bytes = (
+            0 if positions is None else int(positions.nbytes)
+        )
+
+    # Constructors ---------------------------------------------------------
+
+    @classmethod
+    def all_rows(cls, num_rows: int) -> "SelectionVector":
+        """The virgin selection: every row qualifies, nothing materialized."""
+        return cls(num_rows, None)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "SelectionVector":
+        """Materialize positions from a boolean mask over all rows."""
+        if mask.dtype != np.bool_:
+            raise ExecutionError(f"mask must be boolean, got {mask.dtype}")
+        return cls(len(mask), np.flatnonzero(mask))
+
+    # State ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows of the underlying relation."""
+        return self._num_rows
+
+    @property
+    def is_all(self) -> bool:
+        """Whether this still selects every row (nothing materialized)."""
+        return self._positions is None
+
+    @property
+    def count(self) -> int:
+        """Number of qualifying tuples."""
+        if self._positions is None:
+            return self._num_rows
+        return int(len(self._positions))
+
+    @property
+    def selectivity(self) -> float:
+        """Qualifying fraction in [0, 1] (1.0 for an empty relation)."""
+        if self._num_rows == 0:
+            return 1.0
+        return self.count / self._num_rows
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Materialized qualifying positions (forces materialization)."""
+        if self._positions is None:
+            self._positions = np.arange(self._num_rows, dtype=np.intp)
+            self.materialized_bytes += int(self._positions.nbytes)
+        return self._positions
+
+    # Operations ---------------------------------------------------------------
+
+    def refine(self, mask: np.ndarray) -> "SelectionVector":
+        """New selection keeping only currently selected rows where
+        ``mask`` (aligned with the *current* selection) is True."""
+        if len(mask) != self.count:
+            raise ExecutionError(
+                f"refinement mask has {len(mask)} entries, selection has "
+                f"{self.count}"
+            )
+        if self._positions is None:
+            refined = SelectionVector.from_mask(mask)
+        else:
+            refined = SelectionVector(
+                self._num_rows, self._positions[mask]
+            )
+        refined.materialized_bytes += self.materialized_bytes
+        return refined
+
+    def gather(self, column: np.ndarray) -> np.ndarray:
+        """Fetch the selected values of ``column`` (an intermediate).
+
+        For the virgin selection this is the column itself (no copy);
+        otherwise a new contiguous intermediate array is materialized,
+        as a column-store must (paper section 2.1).
+        """
+        if len(column) != self._num_rows:
+            raise ExecutionError(
+                f"column has {len(column)} rows, selection expects "
+                f"{self._num_rows}"
+            )
+        if self._positions is None:
+            return column
+        gathered = column[self._positions]
+        self.materialized_bytes += int(gathered.nbytes)
+        return gathered
+
+    def gather_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Fetch the selected rows of a (rows × width) group block."""
+        if matrix.shape[0] != self._num_rows:
+            raise ExecutionError(
+                f"matrix has {matrix.shape[0]} rows, selection expects "
+                f"{self._num_rows}"
+            )
+        if self._positions is None:
+            return matrix
+        gathered = matrix[self._positions]
+        self.materialized_bytes += int(gathered.nbytes)
+        return gathered
+
+    def __repr__(self) -> str:
+        state = "ALL" if self.is_all else f"{self.count}"
+        return f"SelectionVector({state}/{self._num_rows})"

@@ -1,0 +1,74 @@
+"""Interpreted fused-scan execution (volcano pipeline).
+
+Builds the scan → filter → project/aggregate pipeline from the generic
+operators and runs it to completion.  This is the row-store / group
+execution strategy in its *generic* form: correct for any layout
+combination, but paying interpretation overhead per vector — the cost
+the generated kernels of :mod:`repro.codegen` eliminate (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..sql.analyzer import QueryInfo
+from ..sql.types import DataType
+from ..storage.layout import Layout
+from .operators import AggregateOperator, Filter, LayoutScan, Project
+from .operators.base import Operator
+from .result import QueryResult
+
+
+def projection_dtype(info: QueryInfo) -> np.dtype:
+    """Output dtype for a projection: int64 unless any output is float."""
+    if any(t is DataType.FLOAT64 for t in info.output_types):
+        return np.dtype(np.float64)
+    return np.dtype(np.int64)
+
+
+def build_pipeline(
+    info: QueryInfo, layouts: Sequence[Layout], block_rows: int
+) -> Operator:
+    """Assemble the operator tree for ``info`` over ``layouts``."""
+    node: Operator = LayoutScan(layouts, info.all_attrs, block_rows)
+    if info.has_predicate:
+        node = Filter(node, info.query.where)
+    if info.is_aggregation:
+        node = AggregateOperator(node, info.query.select)
+    else:
+        node = Project(node, info.query.select, projection_dtype(info))
+    return node
+
+
+def run_fused_interpreted(
+    info: QueryInfo, layouts: Sequence[Layout], block_rows: int
+) -> Tuple[QueryResult, int]:
+    """Execute with the interpreted volcano pipeline.
+
+    Returns the result plus the bytes of intermediates materialized
+    (filter compaction buffers), which feeds the executor's stats.
+    """
+    root = build_pipeline(info, layouts, block_rows)
+    if isinstance(root, AggregateOperator):
+        for _ in root:
+            pass
+        return root.result(), 0
+
+    blocks = []
+    intermediate = 0
+    root.open()
+    try:
+        while True:
+            chunk = root.next_chunk()
+            if chunk is None:
+                break
+            block = chunk.col(Project.OUTPUT_KEY)
+            blocks.append(block)
+            intermediate += int(block.nbytes)
+    finally:
+        root.close()
+    names = [out.name for out in info.query.select]
+    result = QueryResult.from_blocks(names, blocks, projection_dtype(info))
+    return result, intermediate

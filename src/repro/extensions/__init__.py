@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's evaluated scope.
+
+The paper's conclusion names one "challenging area with potential high
+impact": studying **adaptive indexing together with adaptive data
+layouts**.  :mod:`repro.extensions.cracking` implements that direction:
+a database-cracking index (Idreos et al., CIDR'07 — cited by the paper
+as [23]) that partitions a column incrementally as range predicates
+query it, plus an engine hook that lets the late-materialization
+strategy answer its first predicate from the cracker instead of a scan.
+
+Everything in this package is optional and off by default; the
+reproduction of the paper's results does not depend on it.
+"""
+
+from .cracking import CrackedColumn, CrackingPredicateIndex
+from .cracked_engine import CrackingColumnStoreEngine
+
+__all__ = [
+    "CrackedColumn",
+    "CrackingPredicateIndex",
+    "CrackingColumnStoreEngine",
+]

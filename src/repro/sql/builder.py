@@ -1,0 +1,98 @@
+"""Fluent programmatic construction of queries.
+
+Workload generators build thousands of queries; going through SQL text
+for each would waste time and obscure intent.  :class:`QueryBuilder`
+assembles the same :class:`~repro.sql.query.Query` objects directly:
+
+>>> from repro.sql import QueryBuilder, col
+>>> q = (QueryBuilder("r")
+...      .select_sum(col("a") + col("b"))
+...      .where(col("c") < 10)
+...      .build())
+>>> q.to_sql()
+'SELECT sum((a + b)) FROM r WHERE c < 10'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .expressions import (
+    Aggregate,
+    AggregateFunc,
+    BoolConnective,
+    BooleanOp,
+    ColumnRef,
+    Expr,
+)
+from .query import OutputColumn, Query
+
+
+class QueryBuilder:
+    """Accumulates SELECT items and WHERE conjuncts, then builds a Query."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        self._select: List[OutputColumn] = []
+        self._where: Optional[Expr] = None
+
+    # SELECT items -------------------------------------------------------
+
+    def select(self, expr: "Expr | str", alias: Optional[str] = None) -> "QueryBuilder":
+        """Add one output expression (a bare string means a column name)."""
+        if isinstance(expr, str):
+            expr = ColumnRef(expr)
+        self._select.append(OutputColumn(expr=expr, alias=alias))
+        return self
+
+    def select_columns(self, names: Sequence[str]) -> "QueryBuilder":
+        """Add a plain projection of the given column names."""
+        for name in names:
+            self.select(name)
+        return self
+
+    def _select_agg(
+        self, func: AggregateFunc, expr: "Expr | str | None", alias: Optional[str]
+    ) -> "QueryBuilder":
+        if isinstance(expr, str):
+            expr = ColumnRef(expr)
+        self._select.append(OutputColumn(Aggregate(func, expr), alias))
+        return self
+
+    def select_sum(self, expr: "Expr | str", alias: Optional[str] = None) -> "QueryBuilder":
+        return self._select_agg(AggregateFunc.SUM, expr, alias)
+
+    def select_min(self, expr: "Expr | str", alias: Optional[str] = None) -> "QueryBuilder":
+        return self._select_agg(AggregateFunc.MIN, expr, alias)
+
+    def select_max(self, expr: "Expr | str", alias: Optional[str] = None) -> "QueryBuilder":
+        return self._select_agg(AggregateFunc.MAX, expr, alias)
+
+    def select_avg(self, expr: "Expr | str", alias: Optional[str] = None) -> "QueryBuilder":
+        return self._select_agg(AggregateFunc.AVG, expr, alias)
+
+    def select_count(
+        self, expr: "Expr | str | None" = None, alias: Optional[str] = None
+    ) -> "QueryBuilder":
+        return self._select_agg(AggregateFunc.COUNT, expr, alias)
+
+    # WHERE conjuncts ------------------------------------------------------
+
+    def where(self, predicate: Expr) -> "QueryBuilder":
+        """AND one more predicate onto the WHERE clause."""
+        if self._where is None:
+            self._where = predicate
+        else:
+            self._where = BooleanOp(BoolConnective.AND, self._where, predicate)
+        return self
+
+    # Finalize -------------------------------------------------------------
+
+    def build(self) -> Query:
+        """Produce the immutable Query (validates the select list)."""
+        if not self._select:
+            raise AnalysisError("QueryBuilder: no output columns were added")
+        return Query(
+            table=self.table, select=tuple(self._select), where=self._where
+        )

@@ -1,0 +1,162 @@
+"""The Query object and its access-pattern signature.
+
+A :class:`Query` is one select-project-aggregate statement over a single
+table.  Beyond carrying the AST, it computes the two attribute sets that
+drive every adaptive decision in H2O (paper section 3.2): the attributes
+accessed in the SELECT clause and the attributes accessed in the WHERE
+clause.  H2O keeps these separate — they feed two distinct affinity
+matrices and may be materialized as distinct column groups so that, e.g.,
+a predicate group can produce a selection vector (Fig. 6).
+
+:class:`QuerySignature` is the hashable shape of a query used by the
+monitor (pattern frequency), the advisor (candidate generation), and the
+operator cache (kernel reuse across structurally identical queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..errors import AnalysisError
+from .expressions import Aggregate, Expr, flatten_conjuncts
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One item of the SELECT list: an expression and an output name."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Name of this column in the result (alias or rendered SQL)."""
+        return self.alias if self.alias is not None else self.expr.to_sql()
+
+    def to_sql(self) -> str:
+        sql = self.expr.to_sql()
+        if self.alias is not None:
+            sql += f" AS {self.alias}"
+        return sql
+
+
+@dataclass(frozen=True)
+class QuerySignature:
+    """The access-pattern shape of a query.
+
+    Two queries with the same signature touch the same attributes in the
+    same clauses and have structurally identical output expressions and
+    predicates, so they can share a generated operator and they count as
+    the same pattern for monitoring purposes.
+    """
+
+    select_attrs: FrozenSet[str]
+    where_attrs: FrozenSet[str]
+    structure: Tuple[str, ...]
+
+    @property
+    def all_attrs(self) -> FrozenSet[str]:
+        return self.select_attrs | self.where_attrs
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-aggregate query over one table.
+
+    Parameters
+    ----------
+    table:
+        Name of the relation scanned.
+    select:
+        Output columns, in order.  Either all of them contain aggregates
+        (an aggregation query returning one row) or none of them do
+        (a projection query returning one row per qualifying tuple).
+    where:
+        Optional boolean predicate; ``None`` means no WHERE clause.
+    """
+
+    table: str
+    select: Tuple[OutputColumn, ...]
+    where: Optional[Expr] = None
+    _signature_cache: "list" = field(
+        default_factory=list, compare=False, hash=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise AnalysisError("a query must select at least one column")
+        agg_flags = {out.expr.contains_aggregate() for out in self.select}
+        if agg_flags == {True, False}:
+            raise AnalysisError(
+                "cannot mix aggregate and non-aggregate output columns "
+                "(the engine has no GROUP BY)"
+            )
+        if self.where is not None and self.where.contains_aggregate():
+            raise AnalysisError("aggregates are not allowed in WHERE")
+
+    # Access-pattern views ---------------------------------------------
+
+    @property
+    def is_aggregation(self) -> bool:
+        """Whether this query returns one aggregated row."""
+        return self.select[0].expr.contains_aggregate()
+
+    @property
+    def select_attributes(self) -> FrozenSet[str]:
+        """Attributes referenced anywhere in the SELECT clause."""
+        names: set = set()
+        for out in self.select:
+            names |= out.expr.columns()
+        return frozenset(names)
+
+    @property
+    def where_attributes(self) -> FrozenSet[str]:
+        """Attributes referenced in the WHERE clause."""
+        if self.where is None:
+            return frozenset()
+        return self.where.columns()
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes this query touches."""
+        return self.select_attributes | self.where_attributes
+
+    @property
+    def predicates(self) -> Tuple[Expr, ...]:
+        """Top-level AND-ed conjuncts of the WHERE clause."""
+        return flatten_conjuncts(self.where)
+
+    @property
+    def aggregate_calls(self) -> Tuple[Aggregate, ...]:
+        """All aggregate nodes in the SELECT clause, in output order."""
+        calls: list = []
+        for out in self.select:
+            calls.extend(out.expr.aggregates())
+        return tuple(calls)
+
+    def signature(self) -> QuerySignature:
+        """The hashable access-pattern shape of this query (cached)."""
+        if not self._signature_cache:
+            structure = tuple(out.expr.to_sql() for out in self.select)
+            if self.where is not None:
+                structure += ("WHERE", self.where.to_sql())
+            self._signature_cache.append(
+                QuerySignature(
+                    select_attrs=self.select_attributes,
+                    where_attrs=self.where_attributes,
+                    structure=structure,
+                )
+            )
+        return self._signature_cache[0]
+
+    def to_sql(self) -> str:
+        """Render the query back to SQL-subset text."""
+        cols = ", ".join(out.to_sql() for out in self.select)
+        sql = f"SELECT {cols} FROM {self.table}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql
+
+    def __repr__(self) -> str:
+        return f"Query({self.to_sql()!r})"

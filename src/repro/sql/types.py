@@ -1,0 +1,50 @@
+"""Value types supported by the engine.
+
+The paper (section 3.1) restricts layouts to fixed-length attributes; the
+evaluation uses integer attributes throughout.  We support 64-bit integers
+and 64-bit floats, both one machine word wide, which keeps the cache-miss
+cost model exact (one value == one word).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Fixed-width scalar types storable in any layout."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype backing this value type."""
+        return np.dtype(self.value)
+
+    @property
+    def width_bytes(self) -> int:
+        """Storage width in bytes (always one word for supported types)."""
+        return self.numpy_dtype.itemsize
+
+    @classmethod
+    def from_any(cls, value: "DataType | str | np.dtype") -> "DataType":
+        """Coerce a name, numpy dtype, or DataType into a DataType."""
+        if isinstance(value, cls):
+            return value
+        name = np.dtype(value).name if not isinstance(value, str) else value
+        for member in cls:
+            if member.value == name.lower():
+                return member
+        raise SchemaError(f"unsupported data type: {value!r}")
+
+    @staticmethod
+    def common(left: "DataType", right: "DataType") -> "DataType":
+        """Result type of an arithmetic operation over two operands."""
+        if left is DataType.FLOAT64 or right is DataType.FLOAT64:
+            return DataType.FLOAT64
+        return DataType.INT64

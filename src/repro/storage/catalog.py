@@ -1,0 +1,51 @@
+"""Table catalog: name → :class:`~repro.storage.relation.Table`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import CatalogError
+from .relation import Table
+
+
+class Catalog:
+    """Holds the tables an engine can query."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add ``table`` under its name; refuses duplicates by default."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(
+                f"table {table.name!r} is already registered"
+            )
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table; raises CatalogError when unknown."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise CatalogError(
+                f"unknown table {name!r} (registered: {known})"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def items(self) -> Tuple[Tuple[str, Table], ...]:
+        return tuple(self._tables.items())

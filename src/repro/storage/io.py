@@ -1,0 +1,67 @@
+"""Persistence for tables: save/load as ``.npz`` plus a JSON sidecar.
+
+Not part of the paper's evaluation (everything is memory-resident), but
+needed so example workloads and regenerated benchmark inputs can be
+cached on disk between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import StorageError
+from ..sql.types import DataType
+from .relation import Table
+from .schema import Attribute, Schema
+
+PathLike = Union[str, Path]
+
+
+def save_table(table: Table, path: PathLike) -> None:
+    """Write a table's logical content to ``path`` (``.npz`` + ``.json``).
+
+    Only the logical columns are persisted; the physical layout
+    configuration is an adaptive, runtime artifact and is intentionally
+    not preserved.
+    """
+    path = Path(path)
+    columns = {name: table.column(name) for name in table.schema.names}
+    np.savez_compressed(path.with_suffix(".npz"), **columns)
+    meta = {
+        "name": table.name,
+        "num_rows": table.num_rows,
+        "attributes": [
+            {"name": attr.name, "dtype": attr.dtype.value}
+            for attr in table.schema
+        ],
+    }
+    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+
+
+def load_table(path: PathLike, initial_layout: str = "column") -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    path = Path(path)
+    meta_path = path.with_suffix(".json")
+    npz_path = path.with_suffix(".npz")
+    if not meta_path.exists() or not npz_path.exists():
+        raise StorageError(f"no saved table at {path}")
+    meta = json.loads(meta_path.read_text())
+    schema = Schema(
+        Attribute(item["name"], DataType.from_any(item["dtype"]))
+        for item in meta["attributes"]
+    )
+    with np.load(npz_path) as archive:
+        columns = {name: archive[name] for name in schema.names}
+    table = Table.from_columns(
+        meta["name"], schema, columns, initial_layout=initial_layout
+    )
+    if table.num_rows != meta["num_rows"]:
+        raise StorageError(
+            f"row count mismatch loading {path}: metadata says "
+            f"{meta['num_rows']}, data has {table.num_rows}"
+        )
+    return table

@@ -1,0 +1,99 @@
+"""Abstract physical layout interface.
+
+Every physical layout stores some subset of a table's attributes for all
+of its rows, row-aligned with every other layout of the same table (the
+layout manager only creates layouts through the stitcher, which preserves
+tuple order).  Row alignment is what lets a selection vector computed
+from one layout be applied to another (Fig. 6's two-group plan).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import LayoutError
+
+
+class LayoutKind(enum.Enum):
+    """The three layout families of the paper (section 3.1)."""
+
+    ROW = "row"
+    COLUMN = "column"
+    GROUP = "group"
+
+
+class Layout(abc.ABC):
+    """A physical materialization of some attributes of a table."""
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> LayoutKind:
+        """Which layout family this materialization belongs to."""
+
+    @property
+    @abc.abstractmethod
+    def attrs(self) -> Tuple[str, ...]:
+        """Attribute names stored here, in physical (storage) order."""
+
+    @property
+    @abc.abstractmethod
+    def num_rows(self) -> int:
+        """Number of tuples stored."""
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Total bytes of attribute data held by this layout."""
+
+    @abc.abstractmethod
+    def column(self, name: str) -> np.ndarray:
+        """A 1-D array of attribute ``name`` (a view where possible)."""
+
+    @property
+    def width(self) -> int:
+        """Number of attributes stored."""
+        return len(self.attrs)
+
+    @property
+    def attr_set(self) -> FrozenSet[str]:
+        cached = getattr(self, "_attr_set_cache", None)
+        if cached is None:
+            cached = frozenset(self.attrs)
+            try:
+                object.__setattr__(self, "_attr_set_cache", cached)
+            except AttributeError:
+                pass  # __slots__ without the cache slot; recompute
+        return cached
+
+    def contains(self, names: Iterable[str]) -> bool:
+        """Whether every name in ``names`` is stored in this layout."""
+        return self.attr_set.issuperset(names)
+
+    def columns(self, names: Iterable[str]) -> Dict[str, np.ndarray]:
+        """1-D arrays for each requested attribute."""
+        return {name: self.column(name) for name in names}
+
+    def index_of(self, name: str) -> int:
+        """Physical position of ``name`` within this layout."""
+        try:
+            return self.attrs.index(name)
+        except ValueError:
+            raise LayoutError(
+                f"attribute {name!r} is not stored in this layout "
+                f"({self.describe()})"
+            ) from None
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable identification for errors and reports."""
+
+    def block_ranges(self, block_rows: int) -> Iterator[Tuple[int, int]]:
+        """Yield (start, stop) row ranges of at most ``block_rows`` rows."""
+        if block_rows <= 0:
+            raise LayoutError(f"block_rows must be positive: {block_rows}")
+        for start in range(0, self.num_rows, block_rows):
+            yield start, min(start + block_rows, self.num_rows)

@@ -1,0 +1,294 @@
+"""Tables: a schema plus the set of row-aligned physical layouts.
+
+A :class:`Table` does not privilege any layout: the "data" of the table
+*is* whatever layouts currently exist, and the only invariant is
+coverage — every attribute must be stored in at least one layout.  This
+is exactly H2O's storage view (paper section 3): several formats coexist,
+the same attribute may be replicated across formats, and layouts come and
+go as the workload evolves.
+
+All layouts of one table are row-aligned: tuple ``i`` means the same
+logical tuple in every layout.  The stitcher preserves order, so the
+invariant holds by construction; :meth:`Table.add_layout` enforces the
+row-count part of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LayoutError, StorageError
+from .column_group import ColumnGroup
+from .column_layout import SingleColumn
+from .layout import Layout, LayoutKind
+from .row_layout import build_row_layout
+from .schema import Schema
+
+
+class Table:
+    """One relation: schema, row count, and its physical layouts."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        layouts: Iterable[Layout],
+        num_rows: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._layouts: List[Layout] = list(layouts)
+        self._attr_index = None
+        if not self._layouts:
+            raise StorageError(f"table {name!r} needs at least one layout")
+        rows = {layout.num_rows for layout in self._layouts}
+        if len(rows) != 1:
+            raise LayoutError(
+                f"table {name!r}: layouts disagree on row count: {rows}"
+            )
+        (self.num_rows,) = rows
+        if num_rows is not None and num_rows != self.num_rows:
+            raise LayoutError(
+                f"table {name!r}: expected {num_rows} rows, layouts have "
+                f"{self.num_rows}"
+            )
+        self._check_coverage()
+
+    # Construction --------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        initial_layout: str = "column",
+    ) -> "Table":
+        """Create a table from per-attribute arrays.
+
+        ``initial_layout`` selects how the data is physically stored at
+        the start: ``"column"`` (one SingleColumn per attribute, the
+        paper's preferred starting point since it is "easier to morph to
+        other layouts") or ``"row"`` (one full-width group).
+        """
+        if initial_layout == "column":
+            layouts: List[Layout] = [
+                SingleColumn(attr, np.asarray(columns[attr]))
+                for attr in schema.names
+            ]
+        elif initial_layout == "row":
+            layouts = [build_row_layout(schema, columns)]
+        else:
+            raise StorageError(
+                f"unknown initial layout {initial_layout!r}; "
+                "expected 'column' or 'row'"
+            )
+        return cls(name, schema, layouts)
+
+    # Layout management -----------------------------------------------------
+
+    @property
+    def layouts(self) -> Tuple[Layout, ...]:
+        return tuple(self._layouts)
+
+    def _invalidate_index(self) -> None:
+        self._attr_index: "Dict[str, List[Layout]] | None" = None
+
+    def _index(self) -> "Dict[str, List[Layout]]":
+        """attr → layouts storing it, narrowest first (lazily rebuilt)."""
+        index = getattr(self, "_attr_index", None)
+        if index is None:
+            index = {name: [] for name in self.schema.names}
+            for layout in sorted(self._layouts, key=lambda l: l.width):
+                for attr in layout.attrs:
+                    index[attr].append(layout)
+            self._attr_index = index
+        return index
+
+    def add_layout(self, layout: Layout) -> None:
+        """Register a new row-aligned layout."""
+        if layout.num_rows != self.num_rows:
+            raise LayoutError(
+                f"layout has {layout.num_rows} rows, table "
+                f"{self.name!r} has {self.num_rows}"
+            )
+        unknown = [a for a in layout.attrs if a not in self.schema]
+        if unknown:
+            raise LayoutError(
+                f"layout stores attributes not in schema: {unknown}"
+            )
+        self._layouts.append(layout)
+        self._invalidate_index()
+
+    def drop_layout(self, layout: Layout) -> None:
+        """Remove a layout; refuses to break attribute coverage."""
+        if layout not in self._layouts:
+            raise LayoutError("layout is not part of this table")
+        remaining = [lay for lay in self._layouts if lay is not layout]
+        covered: set = set()
+        for lay in remaining:
+            covered |= lay.attr_set
+        missing = set(self.schema.names) - covered
+        if missing:
+            raise LayoutError(
+                f"dropping {layout.describe()} would leave attributes "
+                f"unstored: {sorted(missing)}"
+            )
+        self._layouts = remaining
+        self._invalidate_index()
+
+    def _check_coverage(self) -> None:
+        covered: set = set()
+        for layout in self._layouts:
+            covered |= layout.attr_set
+        missing = set(self.schema.names) - covered
+        if missing:
+            raise LayoutError(
+                f"table {self.name!r}: attributes not stored in any "
+                f"layout: {sorted(missing)}"
+            )
+
+    def append_rows(self, columns: Mapping[str, np.ndarray]) -> None:
+        """Append new tuples, extending *every* layout consistently.
+
+        All layouts grow by the same rows in the same order, preserving
+        the row-alignment invariant (replicated attributes receive the
+        same values everywhere).  The paper's layouts are densely packed
+        with no update slack, so each layout reallocates.
+        """
+        missing = [n for n in self.schema.names if n not in columns]
+        if missing:
+            raise LayoutError(f"append is missing attributes: {missing}")
+        lengths = {len(columns[n]) for n in self.schema.names}
+        if len(lengths) != 1:
+            raise LayoutError(
+                f"appended columns differ in length: {lengths}"
+            )
+        (extra,) = lengths
+        if extra == 0:
+            return
+        self._layouts = [
+            layout.extended(columns) for layout in self._layouts
+        ]
+        self.num_rows += extra
+        self._invalidate_index()
+
+    # Access ----------------------------------------------------------------
+
+    def layouts_containing(self, attr: str) -> Tuple[Layout, ...]:
+        """All layouts storing ``attr``, narrowest first."""
+        try:
+            return tuple(self._index()[attr])
+        except KeyError:
+            return ()
+
+    def covering_layouts(self, attrs: Iterable[str]) -> Tuple[Layout, ...]:
+        """A small set of layouts that together store ``attrs``.
+
+        Greedy set cover preferring layouts that add the most uncovered
+        attributes with the least useless width — the same preference
+        order H2O's planner uses when the perfect group is absent
+        (section 4.2.2: subsets of groups and multi-group access).
+        """
+        needed = set(attrs)
+        unknown = [a for a in needed if a not in self.schema]
+        if unknown:
+            raise LayoutError(f"unknown attributes: {sorted(unknown)}")
+        index = self._index()
+        # Only layouts that store at least one needed attribute matter.
+        relevant: List[Layout] = []
+        seen: set = set()
+        for attr in needed:
+            for layout in index[attr]:
+                if id(layout) not in seen:
+                    seen.add(id(layout))
+                    relevant.append(layout)
+        chosen: List[Layout] = []
+        while needed:
+            best: Optional[Layout] = None
+            best_key: Tuple[float, float] = (-1.0, 0.0)
+            for layout in relevant:
+                covered = len(needed & layout.attr_set)
+                if covered == 0:
+                    continue
+                key = (float(covered), -float(layout.width))
+                if key > best_key:
+                    best_key = key
+                    best = layout
+            if best is None:
+                raise LayoutError(
+                    f"attributes not stored anywhere: {sorted(needed)}"
+                )
+            chosen.append(best)
+            needed -= best.attr_set
+        return tuple(chosen)
+
+    def narrowest_cover(self, attrs: Iterable[str]) -> Tuple[Layout, ...]:
+        """Per-attribute narrowest providers (the column-store-ish cover).
+
+        Complements :meth:`covering_layouts` (which minimizes the number
+        of layouts): this cover minimizes useless width per attribute,
+        e.g. preferring single columns over a wide group that happens to
+        contain everything.  The planner considers both.
+        """
+        chosen: List[Layout] = []
+        seen: set = set()
+        for attr in attrs:
+            providers = self.layouts_containing(attr)
+            if not providers:
+                raise LayoutError(f"attribute {attr!r} is not stored")
+            narrowest = providers[0]
+            if id(narrowest) not in seen:
+                seen.add(id(narrowest))
+                chosen.append(narrowest)
+        return tuple(chosen)
+
+    def column(self, name: str) -> np.ndarray:
+        """Values of one attribute, read from the narrowest layout."""
+        layouts = self.layouts_containing(name)
+        if not layouts:
+            raise LayoutError(f"attribute {name!r} is not stored")
+        return layouts[0].column(name)
+
+    def columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        return {name: self.column(name) for name in names}
+
+    # Reporting ---------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all layouts (replication counts twice)."""
+        return sum(layout.nbytes for layout in self._layouts)
+
+    def layout_summary(self) -> str:
+        """One line per layout for logs and reports."""
+        lines = [
+            f"table {self.name!r}: {self.num_rows} rows x "
+            f"{self.schema.width} attrs, {len(self._layouts)} layouts, "
+            f"{self.nbytes / 1e6:.1f} MB"
+        ]
+        for layout in self._layouts:
+            lines.append(
+                f"  - {layout.describe()} ({layout.nbytes / 1e6:.1f} MB)"
+            )
+        return "\n".join(lines)
+
+    def kinds(self) -> Tuple[LayoutKind, ...]:
+        """The kinds of the current layouts (for tests and reports)."""
+        return tuple(layout.kind for layout in self._layouts)
+
+    def find_group(self, attrs: Iterable[str]) -> Optional[ColumnGroup]:
+        """An existing group storing exactly ``attrs``, if any."""
+        wanted = frozenset(attrs)
+        for layout in self._layouts:
+            if isinstance(layout, ColumnGroup) and layout.attr_set == wanted:
+                return layout
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"attrs={self.schema.width}, layouts={len(self._layouts)})"
+        )

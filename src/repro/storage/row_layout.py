@@ -1,0 +1,40 @@
+"""Row-major (NSM) layout construction.
+
+The row-major layout is the full-width column group: every attribute of
+the schema, densely packed, stored tuple-at-a-time (paper section 3.1,
+Fig. 4b).  This module provides the constructor that assembles it from
+per-attribute arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import LayoutError
+from .column_group import ColumnGroup
+from .schema import Schema
+
+
+def build_row_layout(
+    schema: Schema, columns: Mapping[str, np.ndarray]
+) -> ColumnGroup:
+    """Assemble the row-major layout of a table from its columns.
+
+    ``columns`` must supply one 1-D array per schema attribute, all of
+    equal length.  The result is a single C-contiguous (rows × width)
+    group flagged as full-width so it reports ``LayoutKind.ROW``.
+    """
+    missing = [name for name in schema.names if name not in columns]
+    if missing:
+        raise LayoutError(f"missing columns for row layout: {missing}")
+    lengths = {len(columns[name]) for name in schema.names}
+    if len(lengths) != 1:
+        raise LayoutError(f"columns have differing lengths: {lengths}")
+    (num_rows,) = lengths
+    dtype = schema.common_dtype(schema.names).numpy_dtype
+    data = np.empty((num_rows, schema.width), dtype=dtype)
+    for position, name in enumerate(schema.names):
+        data[:, position] = columns[name]
+    return ColumnGroup(schema.names, data, full_width=True)

@@ -1,0 +1,18 @@
+"""Small shared utilities: timing, RNG handling, validation, text tables."""
+
+from .timing import Stopwatch, Timer, format_seconds
+from .rng import derive_rng, ensure_rng
+from .validation import check_fraction, check_positive, check_unique
+from .tables import format_table
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "format_seconds",
+    "derive_rng",
+    "ensure_rng",
+    "check_fraction",
+    "check_positive",
+    "check_unique",
+    "format_table",
+]

@@ -1,0 +1,110 @@
+"""Plotting-free ASCII charts for the benchmark CLI.
+
+The paper's figures are line plots (response time vs. query sequence or
+a swept parameter) and grouped bars.  These helpers render the same
+series as terminal graphics so `python -m repro.bench fig7 --chart`
+shows the *shape* directly, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(ratio * (steps - 1)))))
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    All series share the x axis (their index) and the y range.  With
+    ``log_y`` the y axis is logarithmic (the paper's Fig. 10 style).
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if 0 in lengths:
+        raise ValueError("line_chart series must be non-empty")
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, 1e-12))
+        return value
+
+    all_values = [
+        transform(v) for values in series.values() for v in values
+    ]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x_index, value in enumerate(values):
+            x = _scale(x_index, 0, max(1, len(values) - 1), width)
+            y = _scale(transform(value), low, high, height)
+            grid[height - 1 - y][x] = glyph
+
+    def y_label(level: float) -> str:
+        raw = 10**level if log_y else level
+        return f"{raw:10.4g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level = high - (high - low) * row_index / (height - 1)
+        prefix = (
+            y_label(level)
+            if row_index in (0, height // 2, height - 1)
+            else " " * 10
+        )
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * 10 + " +" + "-" * width)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    bars: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Render labelled horizontal bars (the paper's Fig. 8/13 style)."""
+    if not bars:
+        raise ValueError("bar_chart needs at least one bar")
+    peak = max(bars.values())
+    label_width = max(len(name) for name in bars)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in bars.items():
+        filled = (
+            0 if peak <= 0 else max(1, int(round(value / peak * width)))
+        ) if value > 0 else 0
+        lines.append(
+            f"{name.rjust(label_width)} | "
+            + "#" * filled
+            + f" {value:.4g}{unit}"
+        )
+    return "\n".join(lines)

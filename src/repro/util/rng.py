@@ -1,0 +1,36 @@
+"""Deterministic random-number handling.
+
+Every stochastic component (data generation, workload generation) takes a
+seed or an already-constructed :class:`numpy.random.Generator`.  Derived
+streams are produced with :func:`derive_rng` so that, e.g., the table data
+and the query sequence of one experiment are independent but both fully
+determined by the experiment seed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``rng`` (seed, Generator, or None) to a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def derive_rng(rng: RngLike, *tags: object) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and ``tags``.
+
+    The tags are hashed into the seed sequence, so the same parent seed +
+    tags always yield the same child stream regardless of how many other
+    streams were derived in between.
+    """
+    parent = ensure_rng(rng)
+    tag_seed = abs(hash(tuple(str(t) for t in tags))) % (2**32)
+    child_seed = int(parent.integers(0, 2**32)) ^ tag_seed
+    return np.random.default_rng(child_seed)

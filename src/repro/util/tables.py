@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints every figure/table as an aligned text table
+(the same rows/series the paper plots), so the output is diffable and
+recordable in EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: "str | None" = None,
+) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    rendered: List[List[str]] = [[_render_cell(h) for h in headers]]
+    for row in rows:
+        cells = [_render_cell(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append(cells)
+    widths = [
+        max(len(r[col]) for r in rendered) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cell.ljust(width) for cell, width in zip(rendered[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row_cells in rendered[1:]:
+        lines.append(
+            " | ".join(
+                cell.rjust(width) for cell, width in zip(row_cells, widths)
+            )
+        )
+    return "\n".join(lines)

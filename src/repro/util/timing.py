@@ -1,0 +1,85 @@
+"""Timing helpers used by the engine and the benchmark harness.
+
+The engine charges layout-creation and code-generation time to the query
+that incurs it (as the paper does), so timing is a first-class concern:
+:class:`Timer` is a context manager for one interval, :class:`Stopwatch`
+accumulates named intervals across a query's lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Context manager measuring one wall-clock interval in seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    Used by the engine to attribute query time to phases (planning,
+    codegen, reorganization, execution) so reports can break down where
+    time goes, mirroring Fig. 8's execution vs. layout-creation split.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against phase ``name`` directly."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self.totals.values())
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 when never recorded)."""
+        return self.totals.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a unit that keeps 3 significant digits."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

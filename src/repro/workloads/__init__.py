@@ -1,0 +1,41 @@
+"""Workload generators for the paper's evaluation (section 4).
+
+- :mod:`~repro.workloads.microbench` — the three query templates of
+  section 4.2.1 (projection / aggregation / arithmetic expression) with
+  controlled projectivity and selectivity, used by Figs. 1, 2, 10–14;
+- :mod:`~repro.workloads.sequences` — the adaptive query sequences of
+  section 4.1 (Fig. 7 / Table 1) and the workload-shift sequence of
+  Fig. 9;
+- :mod:`~repro.workloads.skyserver` — a synthetic surrogate of the SDSS
+  SkyServer "PhotoObjAll" workload used by Fig. 8 (see DESIGN.md for
+  the substitution rationale).
+"""
+
+from .workload import Workload, TableSpec
+from .microbench import (
+    aggregation_query,
+    arithmetic_query,
+    projection_query,
+    projectivity_sweep,
+    selectivity_sweep,
+    threshold_for_selectivity,
+)
+from .sequences import fig7_sequence, fig9_sequence
+from .skyserver import skyserver_workload
+from .neuroscience import neuro_schema, neuroscience_workload
+
+__all__ = [
+    "Workload",
+    "TableSpec",
+    "projection_query",
+    "aggregation_query",
+    "arithmetic_query",
+    "projectivity_sweep",
+    "selectivity_sweep",
+    "threshold_for_selectivity",
+    "fig7_sequence",
+    "fig9_sequence",
+    "skyserver_workload",
+    "neuro_schema",
+    "neuroscience_workload",
+]

@@ -1,0 +1,204 @@
+"""The micro-benchmark query templates (paper section 4.2.1).
+
+Three templates over a wide uniform relation:
+
+i.   ``SELECT a, b, ... FROM R [WHERE <predicates>]``       (projection)
+ii.  ``SELECT max(a), max(b), ... FROM R [WHERE ...]``      (aggregation)
+iii. ``SELECT a + b + ... FROM R [WHERE ...]``              (arithmetic)
+
+Predicate thresholds are computed analytically from the generator's
+uniform value range so a requested selectivity is hit exactly in
+expectation; multi-conjunct predicates split the target selectivity
+evenly across conjuncts (the paper "generates the filter conditions so
+as the selectivity remains the same for all queries").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..sql.builder import QueryBuilder
+from ..sql.expressions import ColumnRef, Expr, col
+from ..sql.query import Query
+from ..storage.generator import PAPER_HIGH, PAPER_LOW
+from ..util.rng import RngLike, ensure_rng
+
+
+def threshold_for_selectivity(
+    selectivity: float,
+    low: int = PAPER_LOW,
+    high: int = PAPER_HIGH,
+) -> int:
+    """Value ``v`` such that ``attr < v`` keeps ``selectivity`` of a
+    uniform [low, high) attribute."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in [0, 1]: {selectivity}")
+    return int(low + selectivity * (high - low))
+
+
+def _where_for(
+    builder: QueryBuilder,
+    attrs: Sequence[str],
+    selectivity: Optional[float],
+    low: int,
+    high: int,
+) -> QueryBuilder:
+    """AND one ``attr < v`` conjunct per attribute, splitting the target
+    selectivity evenly (per-conjunct p = s^(1/k))."""
+    if selectivity is None or not attrs:
+        return builder
+    per_conjunct = selectivity ** (1.0 / len(attrs))
+    threshold = threshold_for_selectivity(per_conjunct, low, high)
+    for name in attrs:
+        builder.where(col(name) < threshold)
+    return builder
+
+
+def projection_query(
+    attrs: Sequence[str],
+    where_attrs: Sequence[str] = (),
+    selectivity: Optional[float] = None,
+    table: str = "r",
+    low: int = PAPER_LOW,
+    high: int = PAPER_HIGH,
+) -> Query:
+    """Template i: project ``attrs``, optionally filtered."""
+    if not attrs:
+        raise WorkloadError("projection needs at least one attribute")
+    builder = QueryBuilder(table).select_columns(attrs)
+    return _where_for(builder, where_attrs, selectivity, low, high).build()
+
+
+def aggregation_query(
+    attrs: Sequence[str],
+    where_attrs: Sequence[str] = (),
+    selectivity: Optional[float] = None,
+    func: str = "max",
+    table: str = "r",
+    low: int = PAPER_LOW,
+    high: int = PAPER_HIGH,
+) -> Query:
+    """Template ii: one aggregate per attribute, optionally filtered."""
+    if not attrs:
+        raise WorkloadError("aggregation needs at least one attribute")
+    builder = QueryBuilder(table)
+    add = {
+        "max": builder.select_max,
+        "min": builder.select_min,
+        "sum": builder.select_sum,
+        "avg": builder.select_avg,
+    }.get(func)
+    if add is None:
+        raise WorkloadError(f"unsupported aggregate function {func!r}")
+    for name in attrs:
+        add(name)
+    return _where_for(builder, where_attrs, selectivity, low, high).build()
+
+
+def arithmetic_query(
+    attrs: Sequence[str],
+    where_attrs: Sequence[str] = (),
+    selectivity: Optional[float] = None,
+    aggregate: bool = True,
+    table: str = "r",
+    low: int = PAPER_LOW,
+    high: int = PAPER_HIGH,
+) -> Query:
+    """Template iii: ``a + b + ...`` — the paper computes the expression
+    per qualifying tuple; ``aggregate=True`` wraps it in ``sum()`` to
+    keep result shipping out of the measurement (as the paper's
+    aggregations do)."""
+    if not attrs:
+        raise WorkloadError("arithmetic expression needs attributes")
+    expr: Expr = ColumnRef(attrs[0])
+    for name in attrs[1:]:
+        expr = expr + col(name)
+    builder = QueryBuilder(table)
+    if aggregate:
+        builder.select_sum(expr)
+    else:
+        builder.select(expr)
+    return _where_for(builder, where_attrs, selectivity, low, high).build()
+
+
+QUERY_TEMPLATES = {
+    "projection": projection_query,
+    "aggregation": aggregation_query,
+    "arithmetic": arithmetic_query,
+}
+
+
+def _pick_attrs(
+    num_attrs: int, count: int, rng: RngLike, prefix: str = "a"
+) -> List[str]:
+    generator = ensure_rng(rng)
+    if count > num_attrs:
+        raise WorkloadError(
+            f"cannot pick {count} of {num_attrs} attributes"
+        )
+    chosen = generator.choice(num_attrs, size=count, replace=False)
+    return [f"{prefix}{i + 1}" for i in sorted(chosen)]
+
+
+def projectivity_sweep(
+    num_attrs: int,
+    fractions: Sequence[float],
+    template: str = "aggregation",
+    selectivity: Optional[float] = None,
+    rng: RngLike = None,
+    where_same_attrs: bool = True,
+    table: str = "r",
+) -> List[Query]:
+    """One query per projectivity fraction (Figs. 1, 2, 10a–c).
+
+    ``where_same_attrs`` follows the Fig. 1/2 setup: the WHERE clause
+    filters on the same attributes the SELECT clause accesses.
+    """
+    generator = ensure_rng(rng)
+    make = QUERY_TEMPLATES[template]
+    queries = []
+    for fraction in fractions:
+        count = max(1, min(num_attrs, math.ceil(fraction * num_attrs)))
+        attrs = _pick_attrs(num_attrs, count, generator)
+        where_attrs = attrs if (where_same_attrs and selectivity is not None) else ()
+        queries.append(
+            make(
+                attrs,
+                where_attrs=where_attrs,
+                selectivity=selectivity,
+                table=table,
+            )
+        )
+    return queries
+
+
+def selectivity_sweep(
+    num_attrs: int,
+    attrs_accessed: int,
+    selectivities: Sequence[float],
+    template: str = "aggregation",
+    rng: RngLike = None,
+    table: str = "r",
+) -> List[Query]:
+    """Fixed attribute count, varying selectivity (Figs. 10d–f).
+
+    As in the paper, one of the accessed attributes carries the
+    predicate; the rest feed the SELECT clause.
+    """
+    generator = ensure_rng(rng)
+    make = QUERY_TEMPLATES[template]
+    attrs = _pick_attrs(num_attrs, attrs_accessed, generator)
+    select_attrs, where_attr = attrs[:-1], attrs[-1]
+    queries = []
+    for selectivity in selectivities:
+        queries.append(
+            make(
+                select_attrs,
+                where_attrs=[where_attr],
+                selectivity=selectivity,
+                table=table,
+            )
+        )
+    return queries

@@ -1,0 +1,147 @@
+"""Very-wide-table scientific workload (the paper's motivation, §1).
+
+"Neuro-imaging datasets used to study the structure of human brain
+consist of more than 7000 attributes" — the paper motivates adaptive
+layouts with exactly this class: exploratory analysis over tables far
+wider than any query, where each analysis session focuses on a small,
+shifting subset of attributes.
+
+This generator models such a study: a subjects table with per-region
+measurements (volume/thickness/surface-area per brain region plus
+clinical covariates), analysed in *sessions*.  Each session picks a
+region-of-interest set and runs a burst of correlated queries over it
+(cohort filters + statistics), then the focus moves on — the drifting,
+clustered access pattern H2O thrives on and static layouts cannot serve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+from ..sql.builder import QueryBuilder
+from ..sql.expressions import col
+from ..sql.query import Query
+from ..storage.generator import PAPER_HIGH, PAPER_LOW
+from ..storage.schema import Schema
+from ..util.rng import RngLike, derive_rng, ensure_rng
+from .microbench import threshold_for_selectivity
+from .workload import TableSpec, Workload
+
+#: Anatomical regions (measurements are generated per region x metric).
+_REGIONS = (
+    "frontal", "parietal", "temporal", "occipital", "insula",
+    "cingulate", "hippocampus", "amygdala", "thalamus", "putamen",
+    "caudate", "pallidum", "accumbens", "brainstem", "cerebellum",
+    "precuneus", "cuneus", "fusiform", "lingual", "pericalcarine",
+)
+
+_METRICS = ("vol", "thick", "area", "curv", "intensity")
+
+_COVARIATES = (
+    "subject_id", "age", "sex", "education_years", "handedness",
+    "scanner_id", "session_no", "icv", "diagnosis", "score_memory",
+    "score_attention", "score_language",
+)
+
+
+def neuro_schema(extra_metrics: int = 0) -> Schema:
+    """A wide subjects schema: covariates + per-(region, metric) columns.
+
+    The default is 12 + 20x5 = 112 attributes; ``extra_metrics`` widens
+    it further (e.g. 20 extra metrics → 512 attributes) toward the
+    paper's 7000-attribute motivation as memory allows.
+    """
+    names: List[str] = list(_COVARIATES)
+    metrics = list(_METRICS) + [f"m{i}" for i in range(extra_metrics)]
+    for metric in metrics:
+        for region in _REGIONS:
+            names.append(f"{metric}_{region}")
+    return Schema.from_names(names)
+
+
+def neuroscience_workload(
+    num_rows: int = 50_000,
+    num_sessions: int = 8,
+    queries_per_session: int = 12,
+    regions_per_session: int = 4,
+    extra_metrics: int = 0,
+    rng: RngLike = None,
+    table: str = "subjects",
+) -> Workload:
+    """Session-structured exploratory analysis over the wide table."""
+    if regions_per_session > len(_REGIONS):
+        raise WorkloadError(
+            f"at most {len(_REGIONS)} regions per session"
+        )
+    schema = neuro_schema(extra_metrics)
+    parent = ensure_rng(rng)
+    focus_rng = derive_rng(parent, "focus")
+    shape_rng = derive_rng(parent, "shape")
+    metrics = list(_METRICS) + [f"m{i}" for i in range(extra_metrics)]
+    order = {name: i for i, name in enumerate(schema.names)}
+
+    queries: List[Query] = []
+    for _session in range(num_sessions):
+        region_idx = focus_rng.choice(
+            len(_REGIONS), size=regions_per_session, replace=False
+        )
+        regions = [_REGIONS[i] for i in region_idx]
+        metric_idx = focus_rng.choice(
+            len(metrics), size=min(3, len(metrics)), replace=False
+        )
+        session_metrics = [metrics[i] for i in metric_idx]
+        roi = sorted(
+            (
+                f"{metric}_{region}"
+                for metric in session_metrics
+                for region in regions
+            ),
+            key=order.__getitem__,
+        )
+        age_cut = threshold_for_selectivity(
+            float(shape_rng.choice([0.2, 0.5])), PAPER_LOW, PAPER_HIGH
+        )
+        for _q in range(queries_per_session):
+            builder = QueryBuilder(table)
+            kind = shape_rng.random()
+            take = int(shape_rng.integers(max(2, len(roi) // 2), len(roi) + 1))
+            picked_idx = shape_rng.choice(len(roi), size=take, replace=False)
+            picked = sorted(
+                (roi[i] for i in picked_idx), key=order.__getitem__
+            )
+            if kind < 0.5:
+                # Cohort statistics over the ROI measurements.
+                for name in picked:
+                    builder.select_avg(name)
+                builder.select_count()
+            elif kind < 0.8:
+                # Per-subject composite score across the ROI.
+                expr = col(picked[0])
+                for name in picked[1:]:
+                    expr = expr + col(name)
+                builder.select_sum(expr)
+            else:
+                # Raw export of the ROI for offline plotting.
+                builder.select_columns(picked)
+            builder.where(col("age") < age_cut)
+            if shape_rng.random() < 0.5:
+                builder.where(col("diagnosis") < 0)
+            queries.append(builder.build())
+
+    return Workload(
+        name="neuroscience",
+        table_spec=TableSpec(
+            table,
+            schema.width,
+            num_rows,
+            initial_layout="row",
+            schema=schema,
+        ),
+        queries=queries,
+        description=(
+            f"{num_sessions} analysis sessions x {queries_per_session} "
+            f"queries over a {schema.width}-attribute subjects table "
+            f"({regions_per_session} regions of interest per session)"
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Workload containers: a table specification plus a query sequence."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sql.query import Query
+from ..storage.generator import generate_table
+from ..storage.relation import Table
+from ..storage.schema import Schema
+from ..util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """How to build a workload's input relation."""
+
+    name: str
+    num_attrs: int
+    num_rows: int
+    initial_layout: str = "column"
+    schema: Optional[Schema] = None
+
+    def make_table(self, rng: RngLike = None) -> Table:
+        """Materialize a fresh table for this spec (deterministic)."""
+        return generate_table(
+            self.name,
+            self.num_attrs,
+            self.num_rows,
+            rng=rng,
+            initial_layout=self.initial_layout,
+            schema=self.schema,
+        )
+
+
+@dataclass
+class Workload:
+    """A named query sequence over one table spec."""
+
+    name: str
+    table_spec: TableSpec
+    queries: List[Query] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def make_table(self, rng: RngLike = None) -> Table:
+        return self.table_spec.make_table(rng)
+
+    # Workload statistics (used in reports and tests) --------------------------
+
+    def attribute_footprint(self) -> Tuple[int, int]:
+        """(distinct attributes touched, min over queries, )"""
+        touched = set()
+        for query in self.queries:
+            touched |= query.attributes
+        return len(touched), self.table_spec.num_attrs
+
+    def pattern_histogram(self) -> List[Tuple[frozenset, int]]:
+        """Distinct whole-query access sets with frequencies."""
+        counter: Counter = Counter(q.attributes for q in self.queries)
+        return sorted(counter.items(), key=lambda item: -item[1])
+
+    def mean_attrs_per_query(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(len(q.attributes) for q in self.queries) / len(self.queries)

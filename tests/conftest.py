@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic tables and engine configs."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.storage import Schema, Table, generate_table, wide_schema
+
+
+@pytest.fixture(scope="session")
+def small_schema() -> Schema:
+    return wide_schema(8)
+
+
+@pytest.fixture()
+def column_table() -> Table:
+    """2k rows x 8 attrs, stored column-major."""
+    return generate_table("r", 8, 2000, rng=7, initial_layout="column")
+
+
+@pytest.fixture()
+def row_table() -> Table:
+    """Same data as ``column_table`` but stored row-major."""
+    return generate_table("r", 8, 2000, rng=7, initial_layout="row")
+
+
+@pytest.fixture()
+def wide_table() -> Table:
+    """5k rows x 40 attrs, column-major (for adaptation tests)."""
+    return generate_table("r", 40, 5000, rng=11, initial_layout="column")
+
+
+@pytest.fixture()
+def config() -> EngineConfig:
+    return EngineConfig()
+
+
+@pytest.fixture()
+def no_codegen_config() -> EngineConfig:
+    return EngineConfig(use_codegen=False)
+
+
+def reference_columns(table: Table) -> dict:
+    """Ground-truth per-attribute arrays for result checking."""
+    return {name: np.asarray(table.column(name)) for name in table.schema.names}

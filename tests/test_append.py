@@ -1,0 +1,109 @@
+"""Appending tuples: every layout grows consistently, queries stay right."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import H2OEngine
+from repro.errors import LayoutError
+from repro.storage import generate_table
+from repro.storage.stitcher import stitch_group
+
+
+def new_rows(schema, count, seed=99):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.integers(-(10**9), 10**9, size=count, dtype=np.int64)
+        for name in schema.names
+    }
+
+
+class TestAppend:
+    def test_all_layouts_grow(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        before = column_table.num_rows
+        column_table.append_rows(new_rows(column_table.schema, 100))
+        assert column_table.num_rows == before + 100
+        for layout in column_table.layouts:
+            assert layout.num_rows == before + 100
+
+    def test_row_alignment_preserved(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        column_table.append_rows(new_rows(column_table.schema, 50))
+        fresh = column_table.find_group({"a1", "a2"})
+        single_a1 = column_table.layouts_containing("a1")[0]
+        assert (fresh.column("a1") == single_a1.column("a1")).all()
+
+    def test_appended_values_visible(self, column_table):
+        rows = new_rows(column_table.schema, 10)
+        column_table.append_rows(rows)
+        tail = column_table.column("a3")[-10:]
+        assert (tail == rows["a3"]).all()
+
+    def test_append_missing_attribute(self, column_table):
+        rows = new_rows(column_table.schema, 10)
+        del rows["a4"]
+        with pytest.raises(LayoutError):
+            column_table.append_rows(rows)
+
+    def test_append_ragged(self, column_table):
+        rows = new_rows(column_table.schema, 10)
+        rows["a1"] = rows["a1"][:5]
+        with pytest.raises(LayoutError):
+            column_table.append_rows(rows)
+
+    def test_append_nothing_is_noop(self, column_table):
+        before = column_table.num_rows
+        column_table.append_rows(new_rows(column_table.schema, 10, seed=1) | {})
+        assert column_table.num_rows == before + 10
+        column_table.append_rows(
+            {n: np.empty(0, dtype=np.int64) for n in column_table.schema.names}
+        )
+        assert column_table.num_rows == before + 10
+
+    def test_row_table_append(self, row_table):
+        before = row_table.num_rows
+        row_table.append_rows(new_rows(row_table.schema, 25))
+        assert row_table.layouts[0].num_rows == before + 25
+
+
+class TestEngineAfterAppend:
+    def test_queries_reflect_new_data(self):
+        table = generate_table("r", 8, 5000, rng=3, initial_layout="column")
+        engine = H2OEngine(table)
+        first = engine.execute("SELECT count(*), sum(a1) FROM r")
+        rows = new_rows(table.schema, 500, seed=5)
+        table.append_rows(rows)
+        second = engine.execute("SELECT count(*), sum(a1) FROM r")
+        assert second.result.scalars()[0] == first.result.scalars()[0] + 500
+        expected = first.result.scalars()[1] + float(rows["a1"].sum())
+        assert second.result.scalars()[1] == pytest.approx(expected)
+
+    def test_adapted_groups_survive_append(self):
+        from repro.config import EngineConfig
+        from repro.workloads.microbench import aggregation_query
+
+        table = generate_table("r", 12, 10_000, rng=3, initial_layout="column")
+        engine = H2OEngine(table, EngineConfig(window_size=8))
+        attrs = [f"a{i}" for i in range(1, 9)]
+        query = aggregation_query(
+            attrs[:-2], where_attrs=attrs[-2:], selectivity=0.4, func="sum"
+        )
+        for _ in range(20):
+            engine.execute(query)
+        assert engine.manager.creation_log  # adapted
+        table.append_rows(new_rows(table.schema, 1000, seed=6))
+        report = engine.execute(query)
+        # Still correct after growth, whatever plan it picks.
+        a = {n: np.asarray(table.column(n)) for n in attrs}
+        mask = np.ones(table.num_rows, dtype=bool)
+        for conjunct in query.predicates:
+            name = next(iter(conjunct.columns()))
+            mask &= a[name] < conjunct.right.value
+        expected = float(a["a1"][mask].sum())
+        assert report.result.scalars()[0] == pytest.approx(expected)

@@ -1,0 +1,146 @@
+"""The baseline engines: static row/column, optimal oracle, AutoPart."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AutoPartEngine,
+    AutoPartPartitioner,
+    ColumnStoreEngine,
+    OptimalEngine,
+    RowStoreEngine,
+)
+from repro.errors import ExecutionError, WorkloadError
+from repro.sql import parse_query
+from repro.storage import generate_table
+from repro.storage.layout import LayoutKind
+
+
+@pytest.fixture()
+def table():
+    return generate_table("r", 10, 8000, rng=8, initial_layout="column")
+
+
+QUERIES = [
+    "SELECT sum(a1 + a2) FROM r WHERE a3 < 0",
+    "SELECT a1, a2 FROM r WHERE a4 > 0",
+    "SELECT max(a5), min(a6), count(*) FROM r",
+]
+
+
+class TestStaticEngines:
+    def test_row_engine_converts_layout(self, table):
+        engine = RowStoreEngine(table)
+        assert len(engine.table.layouts) == 1
+        assert engine.table.layouts[0].kind is LayoutKind.ROW
+
+    def test_row_engine_keeps_row_table(self):
+        row = generate_table("r", 6, 1000, rng=1, initial_layout="row")
+        engine = RowStoreEngine(row)
+        assert engine.table is row
+
+    def test_column_engine_keeps_column_table(self, table):
+        engine = ColumnStoreEngine(table)
+        assert engine.table is table
+
+    def test_column_engine_decomposes_row_table(self):
+        row = generate_table("r", 6, 1000, rng=1, initial_layout="row")
+        engine = ColumnStoreEngine(row)
+        assert all(l.kind is LayoutKind.COLUMN for l in engine.table.layouts)
+
+    def test_all_engines_agree(self, table):
+        engines = [
+            RowStoreEngine(generate_table("r", 10, 8000, rng=8)),
+            ColumnStoreEngine(generate_table("r", 10, 8000, rng=8)),
+            OptimalEngine(generate_table("r", 10, 8000, rng=8)),
+        ]
+        for sql in QUERIES:
+            results = [engine.execute(sql).result for engine in engines]
+            for other in results[1:]:
+                assert results[0].allclose(other), sql
+
+    def test_strategies_match_design(self, table):
+        col = ColumnStoreEngine(generate_table("r", 10, 1000, rng=8))
+        row = RowStoreEngine(generate_table("r", 10, 1000, rng=8))
+        assert col.execute(QUERIES[0]).strategy == "late"
+        assert row.execute(QUERIES[0]).strategy == "fused"
+
+    def test_wrong_table_rejected(self, table):
+        engine = ColumnStoreEngine(table)
+        with pytest.raises(ExecutionError):
+            engine.execute("SELECT x FROM other")
+
+    def test_cumulative_seconds(self, table):
+        engine = ColumnStoreEngine(table)
+        for sql in QUERIES:
+            engine.execute(sql)
+        assert engine.cumulative_seconds() == pytest.approx(
+            sum(r.seconds for r in engine.reports)
+        )
+
+
+class TestOptimal:
+    def test_reuses_perfect_groups(self, table):
+        engine = OptimalEngine(table)
+        engine.execute(QUERIES[0])
+        engine.execute(QUERIES[0])
+        assert len(engine._groups) == 1
+
+    def test_distinct_patterns_distinct_groups(self, table):
+        engine = OptimalEngine(table)
+        engine.execute("SELECT a1 FROM r")
+        engine.execute("SELECT a2 FROM r")
+        assert len(engine._groups) == 2
+
+
+class TestAutoPart:
+    def workload(self):
+        return [
+            parse_query("SELECT a1, a2 FROM r WHERE a3 < 0"),
+            parse_query("SELECT a1, a2 FROM r WHERE a3 < 5"),
+            parse_query("SELECT sum(a4 + a5) FROM r"),
+            parse_query("SELECT sum(a4 + a5) FROM r WHERE a3 < 0"),
+        ]
+
+    def test_atomic_fragments_group_by_signature(self, table):
+        partitioner = AutoPartPartitioner(table.schema)
+        fragments = partitioner.atomic_fragments(self.workload())
+        # a1, a2 always travel together; a4, a5 likewise.
+        assert frozenset({"a1", "a2"}) in fragments
+        assert frozenset({"a4", "a5"}) in fragments
+        # untouched attributes share the "never accessed" signature
+        assert frozenset({"a6", "a7", "a8", "a9", "a10"}) in fragments
+
+    def test_fit_covers_schema(self, table):
+        partitioner = AutoPartPartitioner(table.schema)
+        partitioning = partitioner.fit(self.workload(), table.num_rows)
+        covered = set()
+        for group in partitioning.groups:
+            covered |= group
+        assert covered == set(table.schema.names)
+
+    def test_fit_rejects_empty_workload(self, table):
+        with pytest.raises(WorkloadError):
+            AutoPartPartitioner(table.schema).fit([], table.num_rows)
+
+    def test_engine_prepare_and_run(self, table):
+        workload = self.workload()
+        engine = AutoPartEngine(table, workload)
+        partitioning = engine.prepare()
+        assert engine.layout_creation_seconds > 0
+        assert partitioning is engine.partitioning
+        # Old single-column layouts were replaced by the fragments.
+        assert all(
+            layout.width >= 1 for layout in engine.table.layouts
+        )
+        reference = ColumnStoreEngine(
+            generate_table("r", 10, 8000, rng=8)
+        )
+        for query in workload:
+            mine = engine.execute(query).result
+            theirs = reference.execute(query).result
+            assert mine.allclose(theirs)
+
+    def test_engine_accepts_sql_strings(self, table):
+        engine = AutoPartEngine(table, ["SELECT a1 FROM r"])
+        assert engine.workload[0].table == "r"

@@ -1,0 +1,72 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.util.chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_glyphs(self):
+        text = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=6)
+        assert "o" in text and "x" in text
+        assert "o a" in text and "x b" in text  # legend
+
+    def test_constant_series(self):
+        text = line_chart({"flat": [5, 5, 5]}, width=10, height=4)
+        assert "flat" in text
+
+    def test_log_scale_labels(self):
+        text = line_chart(
+            {"s": [0.001, 0.01, 0.1, 1.0]}, width=12, height=6, log_y=True
+        )
+        assert "1" in text
+
+    def test_title(self):
+        text = line_chart({"s": [1.0]}, title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+
+class TestBarChart:
+    def test_peak_bar_longest(self):
+        text = bar_chart({"small": 1.0, "big": 4.0}, width=20)
+        lines = {l.split("|")[0].strip(): l.count("#") for l in text.splitlines()}
+        assert lines["big"] > lines["small"]
+
+    def test_zero_bar(self):
+        text = bar_chart({"zero": 0.0, "one": 1.0})
+        assert "zero" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestCLIIntegration:
+    def test_chart_for_fig_series(self):
+        from repro.bench.__main__ import _chart_for
+        from repro.bench.harness import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["a"],
+            rows=[],
+            series={"h2o": [0.1, 0.2], "column": [0.2, 0.3], "meta": "str"},
+        )
+        chart = _chart_for(result)
+        assert chart and "h2o" in chart
+
+    def test_chart_for_no_series(self):
+        from repro.bench.__main__ import _chart_for
+        from repro.bench.harness import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=["a"], rows=[]
+        )
+        assert _chart_for(result) is None

@@ -1,0 +1,179 @@
+"""The cost model: Eq. 2 behaviours the adaptive decisions rely on."""
+
+import pytest
+
+from repro.core.cost_model import (
+    CostModel,
+    GroupSpec,
+    SelectivityEstimator,
+    count_arithmetic_ops,
+)
+from repro.errors import CostModelError
+from repro.execution import enumerate_plans
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql import analyze_query, parse_query
+from repro.storage import generate_table
+from repro.storage.stitcher import stitch_group
+
+
+class TestGroupSpec:
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            GroupSpec(width=0, useful=0, num_rows=10)
+        with pytest.raises(CostModelError):
+            GroupSpec(width=2, useful=3, num_rows=10)
+
+    def test_interning(self):
+        assert GroupSpec.of(3, 2, 100) is GroupSpec.of(3, 2, 100)
+
+
+class TestSelectivityEstimator:
+    def test_heuristics(self):
+        est = SelectivityEstimator()
+        lt = parse_query("SELECT a FROM r WHERE a < 1").where
+        eq = parse_query("SELECT a FROM r WHERE a = 1").where
+        conj = parse_query("SELECT a FROM r WHERE a < 1 AND b < 2").where
+        disj = parse_query("SELECT a FROM r WHERE a < 1 OR b < 2").where
+        assert 0 < est.estimate(eq) < est.estimate(lt) < 1
+        assert est.estimate(conj) < est.estimate(lt)
+        assert est.estimate(disj) > est.estimate(lt)
+
+    def test_no_predicate_is_one(self):
+        assert SelectivityEstimator().estimate(None) == 1.0
+
+    def test_observation_overrides_heuristic(self):
+        est = SelectivityEstimator(blend=1.0)
+        pred = parse_query("SELECT a FROM r WHERE a < 1").where
+        est.observe("key", 0.9)
+        assert est.estimate(pred, "key") == pytest.approx(0.9)
+
+    def test_blending(self):
+        est = SelectivityEstimator(blend=0.5)
+        est.observe("k", 0.0)
+        est.observe("k", 1.0)
+        assert est.estimate(parse_query("SELECT a FROM r WHERE a<1").where, "k") == pytest.approx(0.5)
+
+    def test_observation_clamped(self):
+        est = SelectivityEstimator()
+        est.observe("k", 5.0)
+        assert est._observed["k"] == 1.0
+
+
+class TestAccessCosts:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def test_sequential_scales_with_width(self):
+        narrow = self.model.sequential_access(GroupSpec.of(5, 5, 10_000))
+        wide = self.model.sequential_access(GroupSpec.of(50, 5, 10_000))
+        assert wide > narrow
+
+    def test_stride_penalizes_wide_layouts(self):
+        packed = self.model.column_stride_access(GroupSpec.of(1, 1, 10_000))
+        scattered = self.model.column_stride_access(
+            GroupSpec.of(50, 1, 10_000)
+        )
+        assert scattered > packed
+
+    def test_gather_caps_at_full_scan(self):
+        spec = GroupSpec.of(1, 1, 10_000)
+        sparse = self.model.gather_access(spec, 10)
+        dense = self.model.gather_access(spec, 10_000)
+        assert sparse < dense
+
+    def test_intermediate_monotone(self):
+        assert self.model.intermediate(10_000) > self.model.intermediate(10)
+
+    def test_costs_nonnegative(self):
+        spec = GroupSpec.of(3, 2, 1000)
+        assert self.model.sequential_access(spec) > 0
+        assert self.model.column_stride_access(spec) > 0
+        assert self.model.gather_access(spec, 5) > 0
+
+
+class TestPlanCosts:
+    @pytest.fixture(scope="class")
+    def table(self):
+        t = generate_table("r", 30, 20_000, rng=1, initial_layout="column")
+        group, _ = stitch_group(
+            t.layouts, tuple(f"a{i}" for i in range(1, 11)), t.schema
+        )
+        t.add_layout(group)
+        row, _ = stitch_group(
+            t.layouts, t.schema.names, t.schema, full_width=True
+        )
+        t.add_layout(row)
+        return t
+
+    def test_perfect_group_beats_row_scan(self, table):
+        model = CostModel()
+        info = analyze_query(
+            parse_query(
+                "SELECT sum(a1+a2+a3+a4+a5) FROM r WHERE a6 < 0 AND a7 < 0"
+            ),
+            table.schema,
+        )
+        group = table.find_group({f"a{i}" for i in range(1, 11)})
+        row = [l for l in table.layouts if l.width == 30][0]
+        group_cost = model.plan_cost(
+            info, AccessPlan(ExecutionStrategy.FUSED, (group,))
+        )
+        row_cost = model.plan_cost(
+            info, AccessPlan(ExecutionStrategy.FUSED, (row,))
+        )
+        assert group_cost < row_cost
+
+    def test_multi_conjunct_raises_late_cost(self, table):
+        model = CostModel()
+        single = analyze_query(
+            parse_query("SELECT sum(a1) FROM r WHERE a2 < 0"), table.schema
+        )
+        multi = analyze_query(
+            parse_query(
+                "SELECT sum(a1) FROM r WHERE a2 < 0 AND a3 < 0 AND a4 < 0"
+            ),
+            table.schema,
+        )
+        cover = table.narrowest_cover(["a1", "a2", "a3", "a4"])
+        late_single = model.plan_cost(
+            single,
+            AccessPlan(ExecutionStrategy.LATE, cover[:2]),
+        )
+        late_multi = model.plan_cost(
+            multi, AccessPlan(ExecutionStrategy.LATE, cover)
+        )
+        assert late_multi > late_single
+
+    def test_transformation_cost_positive_and_monotone(self):
+        model = CostModel()
+        small = model.transformation_cost(1000, 1000)
+        large = model.transformation_cost(10_000_000, 10_000_000)
+        assert 0 < small < large
+
+    def test_build_cost_estimate(self):
+        model = CostModel()
+        cheap = model.build_cost_estimate(1000, 5, 5)
+        expensive = model.build_cost_estimate(1000, 5, 100)
+        assert cheap < expensive
+
+    def test_plan_cost_every_enumerated_plan(self, table):
+        """The model must be able to cost whatever the planner emits."""
+        model = CostModel()
+        for sql in [
+            "SELECT a1 FROM r",
+            "SELECT sum(a1), max(a12) FROM r WHERE a20 < 5",
+            "SELECT a1 + a11 FROM r WHERE a2 < 0 AND a12 > 0",
+        ]:
+            info = analyze_query(parse_query(sql), table.schema)
+            for plan in enumerate_plans(table, info):
+                assert model.plan_cost(info, plan) > 0
+
+
+class TestOpsCounter:
+    def test_counts_arithmetic(self):
+        expr = parse_query("SELECT a + b * c - d FROM r").select[0].expr
+        assert count_arithmetic_ops(expr) == 3
+
+    def test_counts_inside_aggregates(self):
+        expr = parse_query("SELECT sum(a + b) FROM r").select[0].expr
+        assert count_arithmetic_ops(expr) == 1

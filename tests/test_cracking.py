@@ -1,0 +1,232 @@
+"""The adaptive-indexing extension (database cracking)."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions import CrackedColumn, CrackingPredicateIndex
+from repro.sql import col, parse_query
+
+
+@pytest.fixture()
+def column():
+    return np.random.default_rng(3).integers(-1000, 1000, 5000)
+
+
+class TestCrackedColumn:
+    def test_range_matches_scan(self, column):
+        cracked = CrackedColumn(column)
+        got = cracked.range_row_ids(low=-100, high=250)
+        expected = np.flatnonzero((column >= -100) & (column < 250))
+        assert (got == expected).all()
+
+    def test_repeated_queries_refine_pieces(self, column):
+        cracked = CrackedColumn(column)
+        assert cracked.num_pieces == 1
+        cracked.range_row_ids(high=0)
+        pieces_after_one = cracked.num_pieces
+        cracked.range_row_ids(low=-500, high=500)
+        assert cracked.num_pieces > pieces_after_one
+        cracked.check_invariants()
+
+    def test_answers_stay_correct_as_cracks_accumulate(self, column):
+        cracked = CrackedColumn(column)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            low, high = sorted(rng.integers(-1200, 1200, 2))
+            got = cracked.range_row_ids(low=low, high=high)
+            expected = np.flatnonzero((column >= low) & (column < high))
+            assert (got == expected).all()
+        cracked.check_invariants()
+
+    def test_repeated_boundary_cracks_once(self, column):
+        cracked = CrackedColumn(column)
+        cracked.range_row_ids(high=0)
+        cracks = cracked.cracks_performed
+        cracked.range_row_ids(high=0)  # same boundary: no new crack
+        assert cracked.cracks_performed == cracks
+
+    def test_open_ranges(self, column):
+        cracked = CrackedColumn(column)
+        everything = cracked.range_row_ids()
+        assert len(everything) == len(column)
+        below = cracked.range_row_ids(high=-2000)
+        assert len(below) == 0
+        above = cracked.range_row_ids(low=-2000)
+        assert len(above) == len(column)
+
+    def test_inclusive_bounds(self):
+        values = np.array([5, 1, 5, 3, 5, 9])
+        cracked = CrackedColumn(values)
+        inclusive = cracked.range_row_ids(
+            low=5, high=5, low_inclusive=True, high_inclusive=True
+        )
+        assert (values[inclusive] == 5).all()
+        assert len(inclusive) == 3
+
+    def test_source_column_untouched(self, column):
+        snapshot = column.copy()
+        cracked = CrackedColumn(column)
+        cracked.range_row_ids(low=-10, high=10)
+        assert (column == snapshot).all()
+
+
+class TestPredicateIndex:
+    @pytest.mark.parametrize(
+        "sql_predicate",
+        [
+            "a1 < 100",
+            "a1 <= 100",
+            "a1 > -50",
+            "a1 >= -50",
+            "a1 = 7",
+            "200 > a1",  # literal-first forms are flipped
+        ],
+    )
+    def test_matches_mask_semantics(self, column, sql_predicate):
+        from repro.execution.evaluator import evaluate_predicate
+
+        predicate = parse_query(
+            f"SELECT a1 FROM r WHERE {sql_predicate}"
+        ).where
+        index = CrackingPredicateIndex()
+        got = index.positions_for(predicate, column)
+        assert got is not None
+        expected = np.flatnonzero(
+            evaluate_predicate(predicate, lambda _n: column)
+        )
+        assert (got == expected).all()
+
+    def test_unsupported_predicates(self, column):
+        index = CrackingPredicateIndex()
+        both_cols = parse_query("SELECT a1 FROM r WHERE a1 < a2").where
+        assert index.positions_for(both_cols, column) is None
+        not_equal = parse_query("SELECT a1 FROM r WHERE a1 != 3").where
+        assert index.positions_for(not_equal, column) is None
+        expr = parse_query("SELECT a1 FROM r WHERE a1 + 1 < 3").where
+        assert index.positions_for(expr, column) is None
+
+    def test_index_reused_across_queries(self, column):
+        index = CrackingPredicateIndex()
+        p1 = parse_query("SELECT a1 FROM r WHERE a1 < 0").where
+        p2 = parse_query("SELECT a1 FROM r WHERE a1 < 500").where
+        index.positions_for(p1, column)
+        index.positions_for(p2, column)
+        (pieces, cracks) = index.stats()["a1"]
+        assert pieces >= 3 and cracks >= 2
+
+    def test_rebuilds_on_length_change(self, column):
+        index = CrackingPredicateIndex()
+        p = parse_query("SELECT a1 FROM r WHERE a1 < 0").where
+        index.positions_for(p, column)
+        longer = np.concatenate([column, column])
+        got = index.positions_for(p, longer)
+        assert (got == np.flatnonzero(longer < 0)).all()
+
+
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=200),
+    st.lists(
+        st.tuples(st.integers(-60, 60), st.integers(-60, 60)),
+        min_size=1,
+        max_size=20,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_cracking_equals_scan(values, ranges):
+    column = np.array(values, dtype=np.int64)
+    cracked = CrackedColumn(column)
+    for a, b in ranges:
+        low, high = min(a, b), max(a, b)
+        got = cracked.range_row_ids(low=low, high=high)
+        expected = np.flatnonzero((column >= low) & (column < high))
+        assert (got == expected).all()
+    cracked.check_invariants()
+
+
+class TestCrackingEngine:
+    def test_results_match_plain_column_engine(self):
+        from repro.baselines import ColumnStoreEngine
+        from repro.extensions import CrackingColumnStoreEngine
+        from repro.storage import generate_table
+
+        plain = ColumnStoreEngine(generate_table("r", 8, 6000, rng=4))
+        cracked = CrackingColumnStoreEngine(
+            generate_table("r", 8, 6000, rng=4)
+        )
+        queries = [
+            "SELECT sum(a1 + a2) FROM r WHERE a3 < 0",
+            "SELECT a1, a2 FROM r WHERE a3 < -500000000 AND a4 > 0",
+            "SELECT max(a5) FROM r WHERE a3 > 250000000",
+            "SELECT count(*) FROM r WHERE a3 BETWEEN -100 AND 100",
+            "SELECT a1 FROM r",  # no predicate at all
+        ]
+        for sql in queries:
+            mine = cracked.execute(sql).result
+            theirs = plain.execute(sql).result
+            assert mine.allclose(theirs), sql
+        assert cracked.index_hits >= 3
+
+    def test_index_refines_across_queries(self):
+        from repro.extensions import CrackingColumnStoreEngine
+        from repro.storage import generate_table
+
+        engine = CrackingColumnStoreEngine(
+            generate_table("r", 4, 6000, rng=4)
+        )
+        for threshold in (-500, -100, 0, 100, 500):
+            engine.execute(
+                f"SELECT count(*) FROM r WHERE a1 < {threshold * 10**6}"
+            )
+        pieces, cracks = engine.index.stats()["a1"]
+        assert pieces >= 5
+
+
+class TestRangeFolding:
+    def _run(self, conjunct_sqls, column):
+        from repro.sql import parse_query
+
+        index = CrackingPredicateIndex()
+        sql = "SELECT a1 FROM r WHERE " + " AND ".join(conjunct_sqls)
+        conjuncts = list(parse_query(sql).predicates)
+        answer = index.range_for_conjuncts(conjuncts, {"a1": column})
+        return answer
+
+    def test_between_pair_folds_into_one_range(self, column):
+        answer = self._run(["a1 >= -100", "a1 < 250"], column)
+        assert answer is not None
+        positions, used = answer
+        assert sorted(used) == [0, 1]
+        expected = np.flatnonzero((column >= -100) & (column < 250))
+        assert (positions == expected).all()
+
+    def test_contradictory_bounds_empty(self, column):
+        answer = self._run(["a1 = 5", "a1 < 3"], column)
+        positions, used = answer
+        assert len(positions) == 0
+        assert sorted(used) == [0, 1]
+
+    def test_redundant_bounds_tightened(self, column):
+        answer = self._run(["a1 >= -100", "a1 >= 0", "a1 < 500"], column)
+        positions, _used = answer
+        expected = np.flatnonzero((column >= 0) & (column < 500))
+        assert (positions == expected).all()
+
+    def test_mixed_attrs_prefers_two_sided(self, column):
+        other = column[::-1].copy()
+        from repro.sql import parse_query
+
+        index = CrackingPredicateIndex()
+        sql = "SELECT a1 FROM r WHERE a2 < 7 AND a1 >= 0 AND a1 < 100"
+        conjuncts = list(parse_query(sql).predicates)
+        positions, used = index.range_for_conjuncts(
+            conjuncts, {"a1": column, "a2": other}
+        )
+        assert sorted(used) == [1, 2]  # the a1 pair, not the lone a2
+        expected = np.flatnonzero((column >= 0) & (column < 100))
+        assert (positions == expected).all()
+
+    def test_unindexable_returns_none(self, column):
+        answer = self._run(["a1 + 1 < 3"], column)
+        assert answer is None

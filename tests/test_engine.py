@@ -1,0 +1,160 @@
+"""The H2O engine end to end: adaptation, reporting, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.errors import ExecutionError
+from repro.sql import parse_query
+from repro.storage import generate_table
+from repro.workloads.microbench import aggregation_query
+
+
+def hot_workload(num_attrs=12, repeats=30):
+    """One hot pattern repeated — the easiest thing to adapt to."""
+    attrs = [f"a{i}" for i in range(1, num_attrs + 1)]
+    query = aggregation_query(
+        attrs[:-2], where_attrs=attrs[-2:], selectivity=0.4, func="sum"
+    )
+    return [query] * repeats
+
+
+class TestBasics:
+    def test_executes_sql_strings(self, wide_table):
+        engine = H2OEngine(wide_table)
+        report = engine.execute("SELECT sum(a1) FROM r WHERE a2 < 0")
+        expected = float(
+            np.asarray(wide_table.column("a1"))[
+                np.asarray(wide_table.column("a2")) < 0
+            ].sum()
+        )
+        assert report.result.scalars()[0] == pytest.approx(expected)
+        assert report.seconds > 0
+        assert report.index == 0
+
+    def test_rejects_wrong_table(self, wide_table):
+        engine = H2OEngine(wide_table)
+        with pytest.raises(ExecutionError):
+            engine.execute("SELECT x FROM other_table")
+
+    def test_reports_accumulate(self, wide_table):
+        engine = H2OEngine(wide_table)
+        engine.execute("SELECT a1 FROM r")
+        engine.execute("SELECT a2 FROM r")
+        assert [r.index for r in engine.reports] == [0, 1]
+        assert engine.cumulative_seconds() > 0
+
+    def test_describe_mentions_state(self, wide_table):
+        engine = H2OEngine(wide_table)
+        engine.execute("SELECT a1 FROM r")
+        text = engine.describe()
+        assert "window size" in text and "operator cache" in text
+
+
+class TestAdaptation:
+    def test_materializes_layout_for_hot_pattern(self):
+        table = generate_table("r", 20, 30_000, rng=2, initial_layout="column")
+        engine = H2OEngine(table, EngineConfig(window_size=10))
+        for query in hot_workload():
+            engine.execute(query)
+        assert len(engine.manager.creation_log) >= 1
+        built = engine.manager.creation_log[0]
+        assert built.mode == "online"
+        # After materialization the hot queries run fused on the group.
+        strategies = [r.strategy for r in engine.reports[-5:]]
+        assert all(s == "fused" for s in strategies)
+
+    def test_reorg_charged_to_triggering_query(self):
+        table = generate_table("r", 20, 30_000, rng=2, initial_layout="column")
+        engine = H2OEngine(table, EngineConfig(window_size=10))
+        for query in hot_workload():
+            engine.execute(query)
+        builders = [r for r in engine.reports if r.layout_created]
+        assert builders
+        assert builders[0].reorg_seconds > 0
+        assert builders[0].phases["reorg"] == builders[0].reorg_seconds
+
+    def test_results_identical_through_adaptation(self):
+        table = generate_table("r", 20, 20_000, rng=2, initial_layout="column")
+        engine = H2OEngine(table, EngineConfig(window_size=8))
+        queries = hot_workload(repeats=25)
+        results = [engine.execute(q).result for q in queries]
+        for result in results[1:]:
+            assert results[0].allclose(result)
+
+    def test_materialization_never(self):
+        table = generate_table("r", 20, 20_000, rng=2, initial_layout="column")
+        engine = H2OEngine(
+            table, EngineConfig(window_size=8, materialization="never")
+        )
+        for query in hot_workload(repeats=20):
+            engine.execute(query)
+        assert len(engine.manager.creation_log) == 0
+
+    def test_materialization_eager(self):
+        table = generate_table("r", 20, 20_000, rng=2, initial_layout="column")
+        engine = H2OEngine(
+            table, EngineConfig(window_size=8, materialization="eager")
+        )
+        for query in hot_workload(repeats=20):
+            engine.execute(query)
+        log = engine.manager.creation_log
+        assert log and all(event.mode == "offline" for event in log)
+
+    def test_materialization_validation(self):
+        import pytest as _pytest
+        from repro.errors import AdaptationError
+
+        with _pytest.raises(AdaptationError):
+            EngineConfig(materialization="sometimes")
+
+    def test_adaptation_runs_periodically(self, wide_table):
+        engine = H2OEngine(wide_table, EngineConfig(window_size=10))
+        reports = [
+            engine.execute(f"SELECT a{i % 5 + 1} FROM r") for i in range(22)
+        ]
+        assert any(r.adaptation_ran for r in reports)
+
+    def test_selectivity_feedback_loop(self, wide_table):
+        engine = H2OEngine(wide_table)
+        engine.execute("SELECT a1 FROM r WHERE a2 < 0")
+        key_count = len(engine.selectivity._observed)
+        assert key_count == 1
+        observed = next(iter(engine.selectivity._observed.values()))
+        assert 0.3 < observed < 0.7  # ~half of uniform values are < 0
+
+    def test_window_shrinks_on_shift(self):
+        table = generate_table("r", 40, 10_000, rng=3, initial_layout="column")
+        engine = H2OEngine(table, EngineConfig(window_size=20))
+        for _ in range(12):
+            engine.execute("SELECT sum(a1 + a2 + a3) FROM r WHERE a4 < 0")
+        before = engine.window.size
+        for i in range(12):
+            engine.execute(
+                f"SELECT sum(a3{i % 3 + 1} + a2{i % 3 + 5}) FROM r"
+                if False
+                else f"SELECT sum(a{30 + i % 5} + a{25 + i % 4}) FROM r"
+            )
+        assert engine.window.shrink_events >= 1 or engine.window.size < before
+
+    def test_run_sequence(self, wide_table):
+        engine = H2OEngine(wide_table)
+        reports = engine.run_sequence(
+            ["SELECT a1 FROM r", "SELECT a2 FROM r"]
+        )
+        assert len(reports) == 2
+
+
+class TestPhasesAccounting:
+    def test_phase_totals_cover_components(self, wide_table):
+        engine = H2OEngine(
+            wide_table,
+            EngineConfig(window_size=5, min_window=5, max_window=20),
+        )
+        for i in range(12):
+            engine.execute(f"SELECT sum(a{i % 3 + 1}) FROM r WHERE a5 < 0")
+        totals = engine.phase_totals()
+        assert "plan" in totals and "execute" in totals
+        assert "adapt" in totals  # at least one adaptation ran
+        assert engine.cumulative_seconds() >= totals["execute"]

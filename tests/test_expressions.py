@@ -1,0 +1,142 @@
+"""Expression AST: construction, introspection, rendering, validation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql import (
+    Aggregate,
+    AggregateFunc,
+    BooleanOp,
+    Comparison,
+    Not,
+    col,
+    lit,
+)
+from repro.sql.expressions import (
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    ComparisonOp,
+    conjunction_of,
+    flatten_conjuncts,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar_builds_arithmetic(self):
+        expr = col("a") + col("b") * 2
+        assert isinstance(expr, Arithmetic)
+        assert expr.op is ArithmeticOp.ADD
+        assert isinstance(expr.right, Arithmetic)
+        assert expr.right.op is ArithmeticOp.MUL
+
+    def test_reflected_operators(self):
+        expr = 3 - col("a")
+        assert isinstance(expr, Arithmetic)
+        assert expr.op is ArithmeticOp.SUB
+        assert expr.left == lit(3)
+
+    def test_comparison_sugar(self):
+        pred = col("a") < 5
+        assert isinstance(pred, Comparison)
+        assert pred.op is ComparisonOp.LT
+
+    def test_eq_ne_methods(self):
+        assert col("a").eq(1).op is ComparisonOp.EQ
+        assert col("a").ne(1).op is ComparisonOp.NE
+
+    def test_invalid_operand_type(self):
+        with pytest.raises(TypeError):
+            col("a") + "not a number"
+
+
+class TestIntrospection:
+    def test_columns_collects_all_refs(self):
+        expr = (col("a") + col("b")) * col("a")
+        assert expr.columns() == frozenset({"a", "b"})
+
+    def test_literal_has_no_columns(self):
+        assert lit(5).columns() == frozenset()
+
+    def test_aggregate_detection(self):
+        agg = Aggregate(AggregateFunc.SUM, col("a") + col("b"))
+        assert agg.contains_aggregate()
+        assert not (col("a") + 1).contains_aggregate()
+
+    def test_aggregates_iterates_nested(self):
+        expr = Aggregate(AggregateFunc.SUM, col("a")) + Aggregate(
+            AggregateFunc.MIN, col("b")
+        )
+        assert len(list(expr.aggregates())) == 2
+
+
+class TestValidation:
+    def test_no_aggregate_in_predicate(self):
+        agg = Aggregate(AggregateFunc.SUM, col("a"))
+        with pytest.raises(AnalysisError):
+            Comparison(ComparisonOp.LT, agg, lit(5))
+
+    def test_no_nested_aggregates(self):
+        inner = Aggregate(AggregateFunc.SUM, col("a"))
+        with pytest.raises(AnalysisError):
+            Aggregate(AggregateFunc.MAX, inner)
+
+    def test_count_star_allows_none(self):
+        assert Aggregate(AggregateFunc.COUNT, None).arg is None
+
+    def test_other_aggs_require_argument(self):
+        with pytest.raises(AnalysisError):
+            Aggregate(AggregateFunc.SUM, None)
+
+
+class TestRendering:
+    def test_to_sql_roundtrippable_text(self):
+        expr = (col("a") + col("b")) * lit(2)
+        assert expr.to_sql() == "((a + b) * 2)"
+
+    def test_boolean_to_sql(self):
+        pred = BooleanOp(
+            BoolConnective.AND, col("a") < 1, col("b") > 2
+        )
+        assert "AND" in pred.to_sql()
+
+    def test_not_to_sql(self):
+        assert Not(col("a") < 1).to_sql().startswith("NOT")
+
+    def test_count_star_sql(self):
+        assert Aggregate(AggregateFunc.COUNT, None).to_sql() == "count(*)"
+
+
+class TestEqualityHashing:
+    def test_structural_equality(self):
+        assert (col("a") + 1) == (col("a") + 1)
+        assert (col("a") + 1) != (col("a") + 2)
+
+    def test_hashable_for_cache_keys(self):
+        seen = {col("a") + 1: "x"}
+        assert seen[col("a") + 1] == "x"
+
+
+class TestConjuncts:
+    def test_flatten_returns_all_and_factors(self):
+        pred = conjunction_of([col("a") < 1, col("b") < 2, col("c") < 3])
+        assert len(flatten_conjuncts(pred)) == 3
+
+    def test_or_not_flattened(self):
+        pred = BooleanOp(BoolConnective.OR, col("a") < 1, col("b") < 2)
+        assert flatten_conjuncts(pred) == (pred,)
+
+    def test_mixed_and_or(self):
+        orpart = BooleanOp(BoolConnective.OR, col("a") < 1, col("b") < 2)
+        pred = BooleanOp(BoolConnective.AND, orpart, col("c") < 3)
+        conjuncts = flatten_conjuncts(pred)
+        assert len(conjuncts) == 2
+        assert orpart in conjuncts
+
+    def test_empty_conjunction(self):
+        assert conjunction_of([]) is None
+        assert flatten_conjuncts(None) == ()
+
+    def test_flipped_comparison(self):
+        assert ComparisonOp.LT.flipped() is ComparisonOp.GT
+        assert ComparisonOp.EQ.flipped() is ComparisonOp.EQ

@@ -1,0 +1,187 @@
+"""Monitoring: affinity matrices, window maintenance, shift detection."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.affinity import AffinityMatrix
+from repro.core.history import ShiftDetector, jaccard
+from repro.core.monitor import Monitor
+from repro.core.window import DynamicWindow
+from repro.sql import parse_query
+from repro.storage import wide_schema
+
+
+def q(sql):
+    return parse_query(sql)
+
+
+class TestAffinityMatrix:
+    def test_co_access_counts(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        matrix.add(["a1", "a2"])
+        matrix.add(["a1", "a2", "a3"])
+        assert matrix.affinity("a1", "a2") == 2
+        assert matrix.affinity("a1", "a3") == 1
+        assert matrix.affinity("a1", "a4") == 0
+        assert matrix.frequency("a1") == 2
+
+    def test_symmetry(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        matrix.add(["a1", "a5"])
+        assert matrix.affinity("a1", "a5") == matrix.affinity("a5", "a1")
+
+    def test_remove_reverses_add(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        matrix.add(["a1", "a2"])
+        matrix.remove(["a1", "a2"])
+        assert matrix.affinity("a1", "a2") == 0
+        assert (matrix.matrix == 0).all()
+
+    def test_hot_attributes_ordering(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        for _ in range(3):
+            matrix.add(["a2"])
+        matrix.add(["a1"])
+        hot = matrix.hot_attributes()
+        assert hot[0] == ("a2", 3.0)
+
+    def test_clusters(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        matrix.add(["a1", "a2"])
+        matrix.add(["a3", "a4"])
+        clusters = matrix.clusters(min_affinity=1.0)
+        assert frozenset({"a1", "a2"}) in clusters
+        assert frozenset({"a3", "a4"}) in clusters
+
+    def test_unknown_attrs_ignored(self, small_schema):
+        matrix = AffinityMatrix(small_schema)
+        matrix.add(["a1", "zz"])  # zz silently skipped
+        assert matrix.frequency("a1") == 1
+
+
+class TestMonitor:
+    def test_observes_both_clauses(self, small_schema):
+        monitor = Monitor(small_schema, capacity=10)
+        monitor.observe(q("SELECT sum(a1) FROM r WHERE a2 < 1"))
+        assert monitor.select_affinity.frequency("a1") == 1
+        assert monitor.where_affinity.frequency("a2") == 1
+        assert monitor.where_affinity.frequency("a1") == 0
+
+    def test_eviction_keeps_stats_consistent(self, small_schema):
+        monitor = Monitor(small_schema, capacity=2)
+        monitor.observe(q("SELECT a1 FROM r"))
+        monitor.observe(q("SELECT a2 FROM r"))
+        monitor.observe(q("SELECT a3 FROM r"))
+        assert len(monitor) == 2
+        assert monitor.select_affinity.frequency("a1") == 0
+        assert monitor.select_affinity.frequency("a3") == 1
+
+    def test_patterns_sorted_by_count(self, small_schema):
+        monitor = Monitor(small_schema, capacity=10)
+        for _ in range(3):
+            monitor.observe(q("SELECT a1, a2 FROM r"))
+        monitor.observe(q("SELECT a3 FROM r"))
+        patterns = monitor.patterns()
+        assert patterns[0].attrs == frozenset({"a1", "a2"})
+        assert patterns[0].count == 3
+
+    def test_resize_shrinks(self, small_schema):
+        monitor = Monitor(small_schema, capacity=5)
+        for i in range(5):
+            monitor.observe(q(f"SELECT a{i + 1} FROM r"))
+        monitor.resize(2)
+        assert len(monitor) == 2
+
+    def test_pattern_frequency_subset_rule(self, small_schema):
+        monitor = Monitor(small_schema, capacity=10)
+        monitor.observe(q("SELECT a1, a2 FROM r"))
+        monitor.observe(q("SELECT a1 FROM r"))
+        assert monitor.pattern_frequency(frozenset({"a1", "a2"})) == 2
+        assert monitor.pattern_frequency(frozenset({"a1"})) == 1
+
+    def test_distinct_access_sets(self, small_schema):
+        monitor = Monitor(small_schema, capacity=10)
+        monitor.observe(q("SELECT a1 FROM r"))
+        monitor.observe(q("SELECT a1 FROM r WHERE a1 < 9"))
+        sets = monitor.distinct_access_sets()
+        assert sets[0] == (frozenset({"a1"}), 2)
+
+
+class TestDynamicWindow:
+    def test_due_after_window_size(self):
+        window = DynamicWindow(
+            EngineConfig(window_size=3, min_window=3, max_window=10)
+        )
+        for _ in range(3):
+            assert not window.due() or True
+            window.note_query()
+        assert window.due()
+        window.adapted()
+        assert not window.due()
+
+    def test_shrink_and_grow(self):
+        config = EngineConfig(window_size=20, min_window=8, max_window=40)
+        window = DynamicWindow(config)
+        window.note_shift()
+        assert window.size == 10
+        window.note_shift()
+        assert window.size == 8  # clamped at min
+        window.note_stable()
+        assert window.size == 8 + window.config.window_grow_step
+
+    def test_static_window_never_moves(self):
+        config = EngineConfig(window_size=20, dynamic_window=False)
+        window = DynamicWindow(config)
+        window.note_shift()
+        window.note_stable()
+        assert window.size == 20
+        assert window.shrink_events == 0
+
+    def test_grow_clamped_at_max(self):
+        config = EngineConfig(window_size=20, max_window=21)
+        window = DynamicWindow(config)
+        window.note_stable()
+        window.note_stable()
+        assert window.size == 21
+
+
+class TestShiftDetector:
+    def test_jaccard(self):
+        assert jaccard(frozenset("ab"), frozenset("ab")) == 1.0
+        assert jaccard(frozenset("ab"), frozenset("cd")) == 0.0
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_detects_abrupt_shift(self):
+        config = EngineConfig()
+        detector = ShiftDetector(config, recent=6)
+        known = [frozenset({"a1", "a2", "a3"})]
+        for _ in range(6):
+            assert not detector.assess(frozenset({"a1", "a2", "a3"}), known)
+        fired = []
+        for _ in range(6):
+            fired.append(
+                detector.assess(frozenset({"a7", "a8", "a9"}), known)
+            )
+        assert any(fired)
+
+    def test_fires_once_per_burst(self):
+        config = EngineConfig()
+        detector = ShiftDetector(config, recent=4, warmup=2)
+        known = [frozenset({"a1"})]
+        # Warm, stable phase first (novelty during warm-up never fires).
+        for _ in range(6):
+            assert not detector.assess(frozenset({"a1"}), known)
+        fires = [
+            detector.assess(frozenset({f"b{i}"}), known) for i in range(8)
+        ]
+        assert sum(fires) == 1  # latched until stability returns
+
+    def test_similar_patterns_not_a_shift(self):
+        config = EngineConfig()
+        detector = ShiftDetector(config, recent=5)
+        known = [frozenset({"a1", "a2", "a3", "a4"})]
+        fired = [
+            detector.assess(frozenset({"a1", "a2", "a3"}), known)
+            for _ in range(5)
+        ]
+        assert not any(fired)

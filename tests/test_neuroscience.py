@@ -1,0 +1,80 @@
+"""The very-wide-table neuroscience workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql import analyze_query
+from repro.workloads import neuro_schema, neuroscience_workload
+
+
+class TestSchema:
+    def test_default_width(self):
+        schema = neuro_schema()
+        assert schema.width == 112  # 12 covariates + 20 regions x 5 metrics
+
+    def test_extra_metrics_widen(self):
+        assert neuro_schema(extra_metrics=20).width == 112 + 20 * 20
+
+    def test_expected_columns_exist(self):
+        schema = neuro_schema()
+        for name in ("age", "diagnosis", "vol_hippocampus", "thick_frontal"):
+            assert name in schema
+
+
+class TestWorkload:
+    def test_queries_valid_against_schema(self):
+        workload = neuroscience_workload(num_rows=50, rng=2)
+        table = workload.make_table(rng=1)
+        for query in workload.queries:
+            analyze_query(query, table.schema)
+
+    def test_session_structure(self):
+        workload = neuroscience_workload(
+            num_rows=50, num_sessions=3, queries_per_session=5, rng=2
+        )
+        assert len(workload) == 15
+
+    def test_sessions_share_roi(self):
+        """Queries within one session overlap heavily; sessions differ."""
+        workload = neuroscience_workload(
+            num_rows=50, num_sessions=2, queries_per_session=8, rng=4
+        )
+        covariates = {"age", "diagnosis"}
+
+        def roi(query):
+            return query.attributes - covariates
+
+        session1 = [roi(q) for q in workload.queries[:8]]
+        union1 = frozenset().union(*session1)
+        for attrs in session1:
+            assert attrs <= union1
+        session2 = [roi(q) for q in workload.queries[8:]]
+        union2 = frozenset().union(*session2)
+        # Distinct focus: the two sessions' ROIs are not identical.
+        assert union1 != union2
+
+    def test_deterministic(self):
+        first = neuroscience_workload(num_rows=50, rng=7)
+        second = neuroscience_workload(num_rows=50, rng=7)
+        assert [q.to_sql() for q in first.queries] == [
+            q.to_sql() for q in second.queries
+        ]
+
+    def test_rejects_too_many_regions(self):
+        with pytest.raises(WorkloadError):
+            neuroscience_workload(regions_per_session=99)
+
+    def test_row_major_spec(self):
+        workload = neuroscience_workload(num_rows=50, rng=1)
+        assert workload.table_spec.initial_layout == "row"
+
+    def test_engine_runs_it(self):
+        from repro.core.engine import H2OEngine
+
+        workload = neuroscience_workload(
+            num_rows=2000, num_sessions=2, queries_per_session=4, rng=3
+        )
+        engine = H2OEngine(workload.make_table(rng=1))
+        for query in workload.queries:
+            report = engine.execute(query)
+            assert report.result is not None

@@ -1,0 +1,229 @@
+"""The SQL-subset parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import parse_query
+from repro.sql.expressions import (
+    Aggregate,
+    AggregateFunc,
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    Literal,
+    Not,
+)
+
+
+class TestBasicParsing:
+    def test_simple_projection(self):
+        query = parse_query("SELECT a, b FROM r")
+        assert query.table == "r"
+        assert [out.name for out in query.select] == ["a", "b"]
+        assert query.where is None
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("select A from R where A < 5")
+        assert query.table == "R"
+        assert query.where is not None
+
+    def test_alias(self):
+        query = parse_query("SELECT a + b AS total FROM r")
+        assert query.select[0].name == "total"
+
+    def test_aggregates(self):
+        query = parse_query(
+            "SELECT sum(a), min(b), max(c), avg(d), count(*) FROM r"
+        )
+        funcs = [
+            out.expr.func
+            for out in query.select
+            if isinstance(out.expr, Aggregate)
+        ]
+        assert funcs == [
+            AggregateFunc.SUM,
+            AggregateFunc.MIN,
+            AggregateFunc.MAX,
+            AggregateFunc.AVG,
+            AggregateFunc.COUNT,
+        ]
+
+    def test_count_star(self):
+        query = parse_query("SELECT count(*) FROM r")
+        assert query.select[0].expr.arg is None
+
+    def test_numbers(self):
+        query = parse_query("SELECT a FROM r WHERE a < 2.5 AND a > -3")
+        literals = [
+            node.value
+            for conj in query.predicates
+            for node in [conj.right]
+            if isinstance(node, Literal)
+        ]
+        assert 2.5 in literals
+        assert -3 in literals
+
+    def test_scientific_notation(self):
+        query = parse_query("SELECT a FROM r WHERE a < 1e9")
+        assert query.predicates[0].right.value == 1e9
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        query = parse_query("SELECT a + b * c FROM r")
+        expr = query.select[0].expr
+        assert expr.op.value == "+"
+        assert isinstance(expr.right, Arithmetic)
+        assert expr.right.op.value == "*"
+
+    def test_parentheses_override(self):
+        query = parse_query("SELECT (a + b) * c FROM r")
+        expr = query.select[0].expr
+        assert expr.op.value == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_query(
+            "SELECT a FROM r WHERE a < 1 OR b < 2 AND c < 3"
+        )
+        where = query.where
+        assert isinstance(where, BooleanOp)
+        assert where.op.value == "or"
+        assert isinstance(where.right, BooleanOp)
+        assert where.right.op.value == "and"
+
+    def test_not(self):
+        query = parse_query("SELECT a FROM r WHERE NOT a < 1")
+        assert isinstance(query.where, Not)
+
+    def test_parenthesized_boolean(self):
+        query = parse_query(
+            "SELECT a FROM r WHERE (a < 1 OR b < 2) AND c < 3"
+        )
+        assert isinstance(query.where, BooleanOp)
+        assert query.where.op.value == "and"
+        assert isinstance(query.where.left, BooleanOp)
+
+    def test_unary_minus(self):
+        query = parse_query("SELECT -a FROM r")
+        expr = query.select[0].expr
+        assert isinstance(expr, Arithmetic)  # 0 - a
+
+    def test_comparison_operators(self):
+        for op in ("<", "<=", ">", ">=", "=", "!=", "<>"):
+            query = parse_query(f"SELECT a FROM r WHERE a {op} 5")
+            assert isinstance(query.where, Comparison)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM r",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM r WHERE",
+            "SELECT a FROM r WHERE a",
+            "SELECT a FROM r trailing",
+            "SELECT a FROM r WHERE a < ",
+            "SELECT sum( FROM r",
+            "SELECT a, FROM r",
+            "FROM r SELECT a",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_rejects_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM r WHERE a < $5")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("SELECT a FROM r nonsense")
+        assert excinfo.value.position is not None
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, b FROM r",
+            "SELECT sum((a + b)) FROM r",
+            "SELECT a FROM r WHERE a < 5 AND b > 3",
+            "SELECT max(a), count(*) FROM r WHERE a < 1 OR b > 2",
+            "SELECT ((a + b) * c) FROM r WHERE NOT (a < 1)",
+        ],
+    )
+    def test_parse_render_parse_fixpoint(self, sql):
+        first = parse_query(sql)
+        second = parse_query(first.to_sql())
+        assert first.select == second.select
+        assert first.where == second.where
+
+
+class TestSugar:
+    """BETWEEN and IN desugar into the core predicate algebra."""
+
+    def test_between(self):
+        query = parse_query("SELECT a FROM r WHERE a BETWEEN 2 AND 8")
+        from repro.sql.expressions import BooleanOp
+
+        assert isinstance(query.where, BooleanOp)
+        assert query.where.to_sql() == "(a >= 2 AND a <= 8)"
+
+    def test_not_between(self):
+        query = parse_query("SELECT a FROM r WHERE a NOT BETWEEN 2 AND 8")
+        assert isinstance(query.where, Not)
+
+    def test_in_list(self):
+        query = parse_query("SELECT a FROM r WHERE a IN (1, 2, 3)")
+        sql = query.where.to_sql()
+        assert sql.count("=") == 3 and sql.count("OR") == 2
+
+    def test_not_in(self):
+        query = parse_query("SELECT a FROM r WHERE a NOT IN (1, 2)")
+        assert isinstance(query.where, Not)
+
+    def test_between_combines_with_and(self):
+        query = parse_query(
+            "SELECT a FROM r WHERE a BETWEEN 1 AND 5 AND b < 0"
+        )
+        # BETWEEN desugars into two conjuncts, plus the explicit one.
+        assert len(query.predicates) == 3
+
+    def test_between_executes_correctly(self):
+        import numpy as np
+
+        from repro.core.engine import H2OEngine
+        from repro.storage import generate_table
+
+        table = generate_table("r", 3, 4000, rng=5)
+        engine = H2OEngine(table)
+        report = engine.execute(
+            "SELECT count(*) FROM r WHERE a1 BETWEEN -500000000 AND 500000000"
+        )
+        values = np.asarray(table.column("a1"))
+        expected = int(
+            ((values >= -500000000) & (values <= 500000000)).sum()
+        )
+        assert report.result.scalars()[0] == expected
+
+    def test_in_executes_correctly(self):
+        import numpy as np
+
+        from repro.core.engine import H2OEngine
+        from repro.storage import generate_table
+
+        table = generate_table("r", 2, 1000, rng=5)
+        engine = H2OEngine(table)
+        first = int(table.column("a1")[0])
+        report = engine.execute(f"SELECT count(*) FROM r WHERE a1 IN ({first})")
+        values = np.asarray(table.column("a1"))
+        assert report.result.scalars()[0] == int((values == first).sum())
+
+    def test_dangling_not(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM r WHERE a NOT < 5")

@@ -1,0 +1,102 @@
+"""Property test: generated kernels == interpreted operators, for random
+queries over random layout combinations (the core codegen contract)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.config import EngineConfig
+from repro.execution import Executor, enumerate_plans
+from repro.execution.strategies import AccessPlan, ExecutionStrategy, fused_allowed
+from repro.sql import analyze_query
+from repro.sql.builder import QueryBuilder
+from repro.sql.expressions import ColumnRef, col
+from repro.storage import Schema, Table
+from repro.storage.stitcher import stitch_group
+
+ATTRS = ("a", "b", "c", "d", "e", "f")
+
+
+@st.composite
+def cases(draw):
+    seed = draw(st.integers(0, 2**16))
+    num_rows = draw(st.integers(1, 400))
+    rng = np.random.default_rng(seed)
+    columns = {
+        name: rng.integers(-10**6, 10**6, size=num_rows, dtype=np.int64)
+        for name in ATTRS
+    }
+    schema = Schema.from_names(ATTRS)
+    table = Table.from_columns("r", schema, columns, "column")
+
+    # A random (possibly overlapping) set of groups over the attributes.
+    num_groups = draw(st.integers(0, 2))
+    for _ in range(num_groups):
+        width = draw(st.integers(2, 4))
+        start = draw(st.integers(0, len(ATTRS) - width))
+        group, _ = stitch_group(
+            table.layouts, ATTRS[start : start + width], schema
+        )
+        table.add_layout(group)
+
+    # A random query: aggregation or projection, expression or plain.
+    builder = QueryBuilder("r")
+    shape = draw(st.sampled_from(["agg_cols", "agg_expr", "project"]))
+    chosen = draw(
+        st.lists(st.sampled_from(ATTRS), min_size=1, max_size=4, unique=True)
+    )
+    if shape == "agg_cols":
+        for name in chosen:
+            builder.select_sum(name)
+        builder.select_min(chosen[0])
+        builder.select_count()
+    elif shape == "agg_expr":
+        expr = ColumnRef(chosen[0])
+        for name in chosen[1:]:
+            expr = expr + col(name)
+        builder.select_sum(expr)
+        builder.select_max(expr)
+    else:
+        builder.select_columns(chosen)
+    num_predicates = draw(st.integers(0, 2))
+    for _ in range(num_predicates):
+        attr = draw(st.sampled_from(ATTRS))
+        threshold = draw(st.integers(-(10**6), 10**6))
+        if draw(st.booleans()):
+            builder.where(col(attr) < threshold)
+        else:
+            builder.where(col(attr) >= threshold)
+    return table, builder.build()
+
+
+@given(cases())
+@settings(max_examples=80, deadline=None)
+def test_generated_equals_interpreted_on_every_plan(case):
+    table, query = case
+    info = analyze_query(query, table.schema)
+    generated = Executor(EngineConfig())
+    interpreted = Executor(EngineConfig(use_codegen=False))
+    reference = None
+    for plan in enumerate_plans(table, info):
+        for executor in (generated, interpreted):
+            result, _stats = executor.run_plan(info, plan)
+            if reference is None:
+                reference = result
+            else:
+                assert reference.allclose(result), plan.describe()
+
+
+@given(cases())
+@settings(max_examples=30, deadline=None)
+def test_forced_strategies_agree(case):
+    """Even plans the cost model would never pick must be correct."""
+    table, query = case
+    info = analyze_query(query, table.schema)
+    executor = Executor(EngineConfig())
+    cover = table.covering_layouts(info.all_attrs)
+    late = AccessPlan(ExecutionStrategy.LATE, cover)
+    result_late, _ = executor.run_plan(info, late)
+    if fused_allowed(cover):
+        fused = AccessPlan(ExecutionStrategy.FUSED, cover)
+        result_fused, _ = executor.run_plan(info, fused)
+        assert result_late.allclose(result_fused)

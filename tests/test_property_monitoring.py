@@ -1,0 +1,83 @@
+"""Property tests for monitoring state under arbitrary event sequences."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.monitor import Monitor
+from repro.sql.builder import QueryBuilder
+from repro.storage import wide_schema
+
+SCHEMA = wide_schema(6)
+NAMES = list(SCHEMA.names)
+
+
+def make_query(attrs):
+    return QueryBuilder("r").select_columns(sorted(attrs)).build()
+
+
+attr_sets = st.lists(
+    st.sampled_from(NAMES), min_size=1, max_size=4, unique=True
+).map(frozenset)
+
+
+@given(st.lists(attr_sets, max_size=40), st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_window_stats_match_recomputation(observations, capacity):
+    """Incrementally maintained affinity == recomputed from the window."""
+    monitor = Monitor(SCHEMA, capacity)
+    for attrs in observations:
+        monitor.observe(make_query(attrs))
+
+    assert len(monitor) == min(capacity, len(observations))
+
+    fresh = AffinityMatrix(SCHEMA)
+    for query in monitor.window:
+        fresh.add(query.select_attributes)
+    assert (fresh.matrix == monitor.select_affinity.matrix).all()
+
+
+@given(
+    st.lists(attr_sets, min_size=1, max_size=30),
+    st.lists(st.integers(1, 8), min_size=1, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_resize_never_corrupts(observations, resizes):
+    monitor = Monitor(SCHEMA, 8)
+    for attrs in observations:
+        monitor.observe(make_query(attrs))
+    for capacity in resizes:
+        monitor.resize(capacity)
+        assert len(monitor) <= capacity
+        # Pattern counts must equal window recomputation after resize.
+        from collections import Counter
+
+        expected = Counter(
+            q.select_attributes for q in monitor.window
+        )
+        assert dict(monitor._select_patterns) == {
+            k: v for k, v in expected.items() if v > 0
+        }
+
+
+@given(st.lists(attr_sets, min_size=1, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_affinity_add_remove_inverse(observations):
+    matrix = AffinityMatrix(SCHEMA)
+    for attrs in observations:
+        matrix.add(attrs)
+    for attrs in observations:
+        matrix.remove(attrs)
+    assert (matrix.matrix == 0).all()
+
+
+@given(st.lists(attr_sets, min_size=1, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_pattern_frequency_consistent(observations):
+    monitor = Monitor(SCHEMA, 100)
+    for attrs in observations:
+        monitor.observe(make_query(attrs))
+    universe = frozenset(NAMES)
+    assert monitor.pattern_frequency(universe) == len(observations)
+    for attrs, count in monitor.distinct_access_sets():
+        assert monitor.pattern_frequency(attrs) >= count

@@ -1,0 +1,164 @@
+"""Property-based tests for the SQL layer (hypothesis).
+
+Invariants:
+- any generated query renders to SQL that parses back to the same AST;
+- signatures are stable under render→parse;
+- masked SQL is constant-invariant.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.codegen.exprc import masked_sql
+from repro.sql import parse_query
+from repro.sql.builder import QueryBuilder
+from repro.sql.expressions import (
+    Aggregate,
+    AggregateFunc,
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    Not,
+)
+from repro.sql.query import OutputColumn, Query
+
+ATTRS = [f"a{i}" for i in range(1, 9)]
+
+literals = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6).map(Literal),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda v: Literal(round(v, 6))),
+)
+column_refs = st.sampled_from(ATTRS).map(ColumnRef)
+
+
+def value_exprs(depth=3):
+    base = st.one_of(column_refs, literals)
+    if depth == 0:
+        return base
+    sub = value_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            Arithmetic,
+            st.sampled_from(list(ArithmeticOp)),
+            sub,
+            sub,
+        ),
+    )
+
+
+def predicates(depth=2):
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from(list(ComparisonOp)),
+        value_exprs(1),
+        value_exprs(1),
+    )
+    if depth == 0:
+        return comparison
+    sub = predicates(depth - 1)
+    return st.one_of(
+        comparison,
+        st.builds(
+            BooleanOp, st.sampled_from(list(BoolConnective)), sub, sub
+        ),
+        st.builds(Not, sub),
+    )
+
+
+aggregates = st.one_of(
+    st.builds(
+        Aggregate,
+        st.sampled_from(
+            [
+                AggregateFunc.SUM,
+                AggregateFunc.MIN,
+                AggregateFunc.MAX,
+                AggregateFunc.AVG,
+            ]
+        ),
+        value_exprs(2),
+    ),
+    st.just(Aggregate(AggregateFunc.COUNT, None)),
+)
+
+
+def queries():
+    projection = st.lists(value_exprs(2), min_size=1, max_size=4).map(
+        lambda exprs: Query(
+            "r", tuple(OutputColumn(e) for e in exprs), None
+        )
+    )
+    aggregation = st.lists(aggregates, min_size=1, max_size=4).map(
+        lambda aggs: Query("r", tuple(OutputColumn(a) for a in aggs), None)
+    )
+    shapes = st.one_of(projection, aggregation)
+    return st.builds(
+        lambda query, where: Query(query.table, query.select, where),
+        shapes,
+        st.one_of(st.none(), predicates(2)),
+    )
+
+
+@given(queries())
+@settings(max_examples=200, deadline=None)
+def test_render_parse_roundtrip(query):
+    rendered = query.to_sql()
+    reparsed = parse_query(rendered)
+    assert reparsed.select == query.select
+    assert reparsed.where == query.where
+
+
+@given(queries())
+@settings(max_examples=100, deadline=None)
+def test_signature_stable_under_roundtrip(query):
+    reparsed = parse_query(query.to_sql())
+    assert reparsed.signature() == query.signature()
+
+
+@given(predicates(2), st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=100, deadline=None)
+def test_masked_sql_constant_invariant(predicate, first, second):
+    def replace_literals(expr: Expr, value):
+        if isinstance(expr, Literal):
+            return Literal(value)
+        if isinstance(expr, Arithmetic):
+            return Arithmetic(
+                expr.op,
+                replace_literals(expr.left, value),
+                replace_literals(expr.right, value),
+            )
+        if isinstance(expr, Comparison):
+            return Comparison(
+                expr.op,
+                replace_literals(expr.left, value),
+                replace_literals(expr.right, value),
+            )
+        if isinstance(expr, BooleanOp):
+            return BooleanOp(
+                expr.op,
+                replace_literals(expr.left, value),
+                replace_literals(expr.right, value),
+            )
+        if isinstance(expr, Not):
+            return Not(replace_literals(expr.child, value))
+        return expr
+
+    assert masked_sql(replace_literals(predicate, first)) == masked_sql(
+        replace_literals(predicate, second)
+    )
+
+
+@given(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=6, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_builder_projection_attrs(names):
+    query = QueryBuilder("r").select_columns(names).build()
+    assert query.select_attributes == frozenset(names)

@@ -1,0 +1,100 @@
+"""Property-based storage invariants: stitching preserves data and
+order; partitionings cover; covers actually cover."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.storage import Partitioning, Schema, Table
+from repro.storage.stitcher import stitch_group, stitch_single_columns
+
+ATTRS = tuple(f"c{i}" for i in range(6))
+
+
+@st.composite
+def random_tables(draw):
+    num_rows = draw(st.integers(min_value=1, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    layout = draw(st.sampled_from(["column", "row"]))
+    rng = np.random.default_rng(seed)
+    columns = {
+        name: rng.integers(-50, 50, size=num_rows, dtype=np.int64)
+        for name in ATTRS
+    }
+    schema = Schema.from_names(ATTRS)
+    return Table.from_columns("r", schema, columns, layout), columns
+
+
+@given(
+    random_tables(),
+    st.lists(st.sampled_from(ATTRS), min_size=1, max_size=6, unique=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_stitch_group_preserves_content_and_order(case, attrs):
+    table, columns = case
+    group, stats = stitch_group(table.layouts, attrs, table.schema)
+    assert group.attrs == tuple(attrs)
+    for attr in attrs:
+        assert (group.column(attr) == columns[attr]).all()
+    assert stats.bytes_written == group.nbytes
+    assert stats.bytes_read > 0
+
+
+@given(
+    random_tables(),
+    st.lists(st.sampled_from(ATTRS), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=40, deadline=None)
+def test_stitch_singles_roundtrip(case, attrs):
+    table, columns = case
+    singles, _stats = stitch_single_columns(table.layouts, attrs)
+    for single in singles:
+        assert (single.data == columns[single.name]).all()
+
+
+@given(random_tables(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_covering_layouts_cover(case, data):
+    table, _columns = case
+    needed = data.draw(
+        st.lists(st.sampled_from(ATTRS), min_size=1, max_size=6, unique=True)
+    )
+    for cover in (
+        table.covering_layouts(needed),
+        table.narrowest_cover(needed),
+    ):
+        covered = set()
+        for layout in cover:
+            covered |= layout.attr_set
+        assert set(needed) <= covered
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_partitioning_cover_invariant(data):
+    schema = Schema.from_names(ATTRS)
+    # Draw a random non-overlapping covering partition of the attrs.
+    remaining = list(ATTRS)
+    groups = []
+    rng_order = data.draw(st.permutations(remaining))
+    remaining = list(rng_order)
+    while remaining:
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(remaining))
+        )
+        groups.append(remaining[:size])
+        remaining = remaining[size:]
+    part = Partitioning(schema, groups)
+    covered = set()
+    for group in part:
+        covered |= group
+    assert covered == set(ATTRS)
+    # groups_covering always covers what it is asked for
+    needed = data.draw(
+        st.lists(st.sampled_from(ATTRS), min_size=1, max_size=6, unique=True)
+    )
+    cover = part.groups_covering(needed)
+    got = set()
+    for group in cover:
+        got |= group
+    assert set(needed) <= got

@@ -1,0 +1,144 @@
+"""Query objects, the fluent builder, and semantic analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql import (
+    DataType,
+    QueryBuilder,
+    analyze_query,
+    col,
+    parse_query,
+)
+from repro.storage import wide_schema
+from repro.storage.schema import Attribute, Schema
+
+
+class TestQuery:
+    def test_clause_attribute_sets(self):
+        query = parse_query("SELECT sum(a1 + a2) FROM r WHERE a3 < 1")
+        assert query.select_attributes == frozenset({"a1", "a2"})
+        assert query.where_attributes == frozenset({"a3"})
+        assert query.attributes == frozenset({"a1", "a2", "a3"})
+
+    def test_is_aggregation(self):
+        assert parse_query("SELECT sum(a) FROM r").is_aggregation
+        assert not parse_query("SELECT a FROM r").is_aggregation
+
+    def test_rejects_mixed_select(self):
+        with pytest.raises(AnalysisError):
+            parse_query("SELECT sum(a), b FROM r")
+
+    def test_rejects_empty_select(self):
+        with pytest.raises(AnalysisError):
+            QueryBuilder("r").build()
+
+    def test_signature_equal_for_same_shape(self):
+        first = parse_query("SELECT sum(a) FROM r WHERE b < 5")
+        second = parse_query("SELECT sum(a) FROM r WHERE b < 5")
+        assert first.signature() == second.signature()
+
+    def test_signature_differs_on_structure(self):
+        first = parse_query("SELECT sum(a) FROM r")
+        second = parse_query("SELECT max(a) FROM r")
+        assert first.signature() != second.signature()
+
+    def test_signature_all_attrs(self):
+        query = parse_query("SELECT a FROM r WHERE b < 1")
+        assert query.signature().all_attrs == frozenset({"a", "b"})
+
+    def test_predicates_flatten(self):
+        query = parse_query(
+            "SELECT a FROM r WHERE b < 1 AND c < 2 AND d < 3"
+        )
+        assert len(query.predicates) == 3
+
+
+class TestBuilder:
+    def test_equivalent_to_parsed(self):
+        built = (
+            QueryBuilder("r")
+            .select_sum(col("a") + col("b"))
+            .where(col("c") < 10)
+            .build()
+        )
+        parsed = parse_query("SELECT sum(a + b) FROM r WHERE c < 10")
+        assert built.select == parsed.select
+        assert built.where == parsed.where
+
+    def test_select_columns(self):
+        query = QueryBuilder("r").select_columns(["x", "y"]).build()
+        assert [o.name for o in query.select] == ["x", "y"]
+
+    def test_all_aggregate_helpers(self):
+        query = (
+            QueryBuilder("r")
+            .select_sum("a")
+            .select_min("a")
+            .select_max("a")
+            .select_avg("a")
+            .select_count()
+            .build()
+        )
+        assert len(query.select) == 5
+        assert query.is_aggregation
+
+    def test_where_conjoins(self):
+        query = (
+            QueryBuilder("r")
+            .select("a")
+            .where(col("b") < 1)
+            .where(col("c") > 2)
+            .build()
+        )
+        assert len(query.predicates) == 2
+
+    def test_alias(self):
+        query = QueryBuilder("r").select(col("a"), alias="x").build()
+        assert query.select[0].name == "x"
+
+
+class TestAnalyzer:
+    def test_resolves_in_schema_order(self, small_schema):
+        query = parse_query("SELECT a5, a1 FROM r WHERE a3 < 1")
+        info = analyze_query(query, small_schema)
+        assert info.select_attrs == ("a1", "a5")
+        assert info.all_attrs == ("a1", "a3", "a5")
+
+    def test_unknown_attribute(self, small_schema):
+        query = parse_query("SELECT nope FROM r")
+        with pytest.raises(AnalysisError, match="nope"):
+            analyze_query(query, small_schema)
+
+    def test_output_types_int(self, small_schema):
+        query = parse_query("SELECT a1 + a2 FROM r")
+        info = analyze_query(query, small_schema)
+        assert info.output_types == (DataType.INT64,)
+
+    def test_output_types_promotion(self):
+        schema = Schema(
+            [Attribute("i", DataType.INT64), Attribute("f", DataType.FLOAT64)]
+        )
+        query = parse_query("SELECT i + f FROM r")
+        info = analyze_query(query, schema)
+        assert info.output_types == (DataType.FLOAT64,)
+
+    def test_avg_is_float(self, small_schema):
+        query = parse_query("SELECT avg(a1) FROM r")
+        info = analyze_query(query, small_schema)
+        assert info.output_types == (DataType.FLOAT64,)
+
+    def test_count_is_int(self, small_schema):
+        query = parse_query("SELECT count(*) FROM r")
+        info = analyze_query(query, small_schema)
+        assert info.output_types == (DataType.INT64,)
+
+    def test_flags(self, small_schema):
+        info = analyze_query(
+            parse_query("SELECT sum(a1) FROM r WHERE a2 < 1"), small_schema
+        )
+        assert info.is_aggregation and info.has_predicate
+
+    def test_wide_schema_names(self):
+        schema = wide_schema(3, prefix="x")
+        assert schema.names == ("x1", "x2", "x3")

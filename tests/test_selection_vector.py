@@ -1,0 +1,95 @@
+"""Selection vectors: refinement, gathering, materialization accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import SelectionVector
+
+
+class TestConstruction:
+    def test_all_rows_virgin(self):
+        sel = SelectionVector.all_rows(10)
+        assert sel.is_all
+        assert sel.count == 10
+        assert sel.selectivity == 1.0
+        assert sel.materialized_bytes == 0
+
+    def test_from_mask(self):
+        mask = np.array([True, False, True, True, False])
+        sel = SelectionVector.from_mask(mask)
+        assert not sel.is_all
+        assert sel.count == 3
+        assert list(sel.positions) == [0, 2, 3]
+
+    def test_from_mask_rejects_nonbool(self):
+        with pytest.raises(ExecutionError):
+            SelectionVector.from_mask(np.array([1, 0, 1]))
+
+    def test_negative_rows(self):
+        with pytest.raises(ExecutionError):
+            SelectionVector(-1)
+
+    def test_empty_relation_selectivity(self):
+        assert SelectionVector.all_rows(0).selectivity == 1.0
+
+
+class TestRefine:
+    def test_refine_virgin(self):
+        sel = SelectionVector.all_rows(4)
+        refined = sel.refine(np.array([True, False, False, True]))
+        assert list(refined.positions) == [0, 3]
+
+    def test_refine_chains_absolute_positions(self):
+        sel = SelectionVector.all_rows(6)
+        sel = sel.refine(np.array([1, 0, 1, 0, 1, 1], dtype=bool))
+        # positions now [0, 2, 4, 5]; keep 2nd and 4th of those
+        sel = sel.refine(np.array([False, True, False, True]))
+        assert list(sel.positions) == [2, 5]
+
+    def test_refine_length_mismatch(self):
+        sel = SelectionVector.all_rows(4)
+        with pytest.raises(ExecutionError):
+            sel.refine(np.array([True, False]))
+
+    def test_refine_to_empty(self):
+        sel = SelectionVector.all_rows(3).refine(np.zeros(3, dtype=bool))
+        assert sel.count == 0
+        assert sel.selectivity == 0.0
+
+    def test_materialized_bytes_accumulate(self):
+        sel = SelectionVector.all_rows(100)
+        refined = sel.refine(np.ones(100, dtype=bool))
+        assert refined.materialized_bytes > 0
+
+
+class TestGather:
+    def test_virgin_gather_no_copy(self):
+        column = np.arange(5)
+        sel = SelectionVector.all_rows(5)
+        assert sel.gather(column) is column
+        assert sel.materialized_bytes == 0
+
+    def test_gather_selected(self):
+        column = np.arange(10) * 10
+        sel = SelectionVector(10, np.array([1, 3]))
+        gathered = sel.gather(column)
+        assert list(gathered) == [10, 30]
+        assert sel.materialized_bytes >= gathered.nbytes
+
+    def test_gather_length_check(self):
+        sel = SelectionVector.all_rows(5)
+        with pytest.raises(ExecutionError):
+            sel.gather(np.arange(6))
+
+    def test_gather_rows_matrix(self):
+        matrix = np.arange(12).reshape(6, 2)
+        sel = SelectionVector(6, np.array([0, 5]))
+        rows = sel.gather_rows(matrix)
+        assert rows.shape == (2, 2)
+        assert (rows[1] == matrix[5]).all()
+
+    def test_positions_materialize_virgin(self):
+        sel = SelectionVector.all_rows(4)
+        assert list(sel.positions) == [0, 1, 2, 3]
+        assert sel.materialized_bytes > 0

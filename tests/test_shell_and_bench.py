@@ -1,0 +1,125 @@
+"""The interactive shell, the bench harness, and the report recorder."""
+
+import io
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    warm_table,
+)
+from repro.bench.report import PAPER_CLAIMS, render_markdown
+from repro.core.engine import H2OEngine
+from repro.errors import BenchmarkError
+from repro.shell import run_shell
+from repro.storage import generate_table
+
+
+@pytest.fixture()
+def shell_engine():
+    return H2OEngine(generate_table("r", 6, 2000, rng=3))
+
+
+def run_lines(engine, text):
+    import contextlib
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        run_shell(engine, stream=io.StringIO(text))
+    return out.getvalue()
+
+
+class TestShell:
+    def test_select_prints_result_and_timing(self, shell_engine):
+        output = run_lines(
+            shell_engine, "SELECT sum(a1) FROM r\n\\quit\n"
+        )
+        assert "sum(a1)" in output
+        assert "[late]" in output or "[fused]" in output
+
+    def test_projection_row_cap(self, shell_engine):
+        output = run_lines(shell_engine, "SELECT a1 FROM r\n")
+        assert "rows total" in output
+
+    def test_meta_commands(self, shell_engine):
+        output = run_lines(
+            shell_engine,
+            "\\help\n\\layouts\n\\status\n"
+            "SELECT a1 FROM r WHERE a2 < 0\n\\history\n\\quit\n",
+        )
+        assert "physical layouts" in output or "column[a1]" in output
+        assert "window size" in output
+        assert "q  0" in output
+
+    def test_plan_and_source(self, shell_engine):
+        output = run_lines(
+            shell_engine,
+            "\\plan SELECT sum(a1) FROM r WHERE a2 < 0\n"
+            "\\source SELECT sum(a1) FROM r WHERE a2 < 0\n",
+        )
+        assert "est" in output
+        assert "def kernel" in output
+
+    def test_error_recovery(self, shell_engine):
+        output = run_lines(
+            shell_engine, "SELECT nope FROM r\nSELECT a1 FROM r\n"
+        )
+        assert "error:" in output
+        assert "rows total" in output  # the second query still ran
+
+    def test_unknown_meta_command(self, shell_engine):
+        output = run_lines(shell_engine, "\\wat\n")
+        assert "unknown command" in output
+
+
+class TestHarness:
+    def test_registry_lists_all_figures(self):
+        listing = "\n".join(available_experiments())
+        for experiment_id in (
+            "fig1", "fig2a", "fig2b", "fig2c", "fig7", "table1", "fig8",
+            "fig9", "fig10a", "fig10b", "fig10c", "fig10d", "fig10e",
+            "fig10f", "fig11", "fig12", "fig13", "fig14", "ablation",
+        ):
+            assert f"{experiment_id}:" in listing
+
+    def test_unknown_experiment(self):
+        with pytest.raises(BenchmarkError):
+            get_experiment("fig99")
+
+    def test_warm_table_touches_all_layouts(self, column_table):
+        checksum = warm_table(column_table)
+        assert isinstance(checksum, int)
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["a", "b"],
+            rows=[[1, 2.5]],
+            notes=["hello"],
+        )
+        text = result.render()
+        assert "== x: t ==" in text
+        assert "note: hello" in text
+
+
+class TestReport:
+    def test_every_experiment_has_a_paper_claim(self):
+        ids = [line.split(":")[0] for line in available_experiments()]
+        for experiment_id in ids:
+            assert experiment_id in PAPER_CLAIMS, experiment_id
+
+    def test_render_markdown_structure(self):
+        result = ExperimentResult(
+            experiment_id="fig13",
+            title="online vs offline",
+            headers=["case", "s"],
+            rows=[["Q1", 0.1]],
+        )
+        markdown = render_markdown([result])
+        assert "# EXPERIMENTS" in markdown
+        assert "## fig13: online vs offline" in markdown
+        assert "**Paper:**" in markdown
+        assert "```" in markdown

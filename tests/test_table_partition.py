@@ -1,0 +1,208 @@
+"""Tables (coverage invariant, covers) and abstract partitionings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, LayoutError, StorageError
+from repro.storage import (
+    Catalog,
+    ColumnGroup,
+    Partitioning,
+    Schema,
+    SingleColumn,
+    Table,
+    column_partitioning,
+    generate_table,
+    row_partitioning,
+)
+from repro.storage.layout import LayoutKind
+from repro.storage.stitcher import stitch_group
+
+
+class TestTable:
+    def test_from_columns_column_major(self, column_table):
+        assert all(
+            layout.kind is LayoutKind.COLUMN
+            for layout in column_table.layouts
+        )
+        assert len(column_table.layouts) == 8
+
+    def test_from_columns_row_major(self, row_table):
+        assert len(row_table.layouts) == 1
+        assert row_table.layouts[0].kind is LayoutKind.ROW
+
+    def test_same_logical_content(self, column_table, row_table):
+        for name in column_table.schema.names:
+            assert (column_table.column(name) == row_table.column(name)).all()
+
+    def test_unknown_initial_layout(self, small_schema):
+        with pytest.raises(StorageError):
+            Table.from_columns(
+                "r",
+                small_schema,
+                {n: np.zeros(3) for n in small_schema.names},
+                initial_layout="diagonal",
+            )
+
+    def test_coverage_enforced_on_init(self, small_schema):
+        with pytest.raises(LayoutError):
+            Table("r", small_schema, [SingleColumn("a1", np.zeros(3))])
+
+    def test_add_layout_row_count_check(self, column_table):
+        bad = SingleColumn("a1", np.zeros(7))
+        with pytest.raises(LayoutError):
+            column_table.add_layout(bad)
+
+    def test_add_layout_unknown_attr(self, column_table):
+        bad = SingleColumn("zz", np.zeros(column_table.num_rows))
+        with pytest.raises(LayoutError):
+            column_table.add_layout(bad)
+
+    def test_drop_refuses_to_break_coverage(self, column_table):
+        with pytest.raises(LayoutError):
+            column_table.drop_layout(column_table.layouts[0])
+
+    def test_drop_allowed_when_replicated(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        single_a1 = column_table.layouts[0]
+        column_table.drop_layout(single_a1)  # a1 still lives in the group
+        assert (column_table.column("a1") == group.column("a1")).all()
+
+    def test_covering_layouts_prefers_fewest(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2", "a3"), column_table.schema
+        )
+        column_table.add_layout(group)
+        cover = column_table.covering_layouts(["a1", "a2", "a3"])
+        assert cover == (group,)
+
+    def test_narrowest_cover_prefers_singles(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2", "a3"), column_table.schema
+        )
+        column_table.add_layout(group)
+        cover = column_table.narrowest_cover(["a1", "a2"])
+        assert all(layout.width == 1 for layout in cover)
+
+    def test_covering_unknown_attr(self, column_table):
+        with pytest.raises(LayoutError):
+            column_table.covering_layouts(["nope"])
+
+    def test_find_group(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        assert column_table.find_group({"a2", "a1"}) is group
+        assert column_table.find_group({"a1"}) is None
+
+    def test_layouts_containing_sorted_by_width(self, column_table):
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        providers = column_table.layouts_containing("a1")
+        assert providers[0].width == 1
+        assert group in providers
+
+    def test_nbytes_counts_replicas(self, column_table):
+        before = column_table.nbytes
+        group, _ = stitch_group(
+            column_table.layouts, ("a1", "a2"), column_table.schema
+        )
+        column_table.add_layout(group)
+        assert column_table.nbytes == before + group.nbytes
+
+    def test_layout_summary_mentions_all(self, column_table):
+        text = column_table.layout_summary()
+        assert "8 layouts" in text
+
+
+class TestPartitioning:
+    def test_row_and_column_extremes(self, small_schema):
+        row = row_partitioning(small_schema)
+        column = column_partitioning(small_schema)
+        assert len(row) == 1
+        assert len(column) == small_schema.width
+
+    def test_cover_required(self, small_schema):
+        with pytest.raises(LayoutError):
+            Partitioning(small_schema, [["a1", "a2"]])
+
+    def test_overlap_rejected(self, small_schema):
+        groups = [["a1", "a2"], ["a2", "a3"]] + [
+            [n] for n in small_schema.names[3:]
+        ]
+        with pytest.raises(LayoutError):
+            Partitioning(small_schema, groups + [["a1"]])
+
+    def test_overlap_allowed_when_flagged(self, small_schema):
+        part = Partitioning(
+            small_schema,
+            [list(small_schema.names), ["a1", "a2"]],
+            allow_overlap=True,
+        )
+        assert len(part) == 2
+
+    def test_unknown_attr(self, small_schema):
+        with pytest.raises(LayoutError):
+            Partitioning(small_schema, [["zz"]], require_cover=False)
+
+    def test_groups_covering_greedy(self, small_schema):
+        part = Partitioning(
+            small_schema,
+            [["a1", "a2", "a3"], ["a4", "a5"], ["a6"], ["a7"], ["a8"]],
+        )
+        cover = part.groups_covering(["a1", "a4"])
+        assert frozenset({"a1", "a2", "a3"}) in cover
+        assert frozenset({"a4", "a5"}) in cover
+
+    def test_merge(self, small_schema):
+        part = column_partitioning(small_schema)
+        merged = part.merge(["a1"], ["a2"])
+        assert frozenset({"a1", "a2"}) in merged
+        assert len(merged) == small_schema.width - 1
+
+    def test_merge_requires_members(self, small_schema):
+        part = column_partitioning(small_schema)
+        with pytest.raises(LayoutError):
+            part.merge(["a1", "a2"], ["a3"])
+
+    def test_equality_order_independent(self, small_schema):
+        first = Partitioning(small_schema, [["a1"], ["a2"]] + [[n] for n in small_schema.names[2:]])
+        second = Partitioning(small_schema, [[n] for n in reversed(small_schema.names)])
+        assert first == second
+
+    def test_group_of(self, small_schema):
+        part = row_partitioning(small_schema)
+        assert part.group_of("a3") == frozenset(small_schema.names)
+
+
+class TestCatalog:
+    def test_register_and_get(self, column_table):
+        catalog = Catalog()
+        catalog.register(column_table)
+        assert catalog.get("r") is column_table
+        assert "r" in catalog and len(catalog) == 1
+
+    def test_duplicate_rejected(self, column_table):
+        catalog = Catalog()
+        catalog.register(column_table)
+        with pytest.raises(CatalogError):
+            catalog.register(column_table)
+        catalog.register(column_table, replace=True)  # explicit is fine
+
+    def test_unknown_lookup(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("ghost")
+
+    def test_drop(self, column_table):
+        catalog = Catalog()
+        catalog.register(column_table)
+        catalog.drop("r")
+        assert "r" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop("r")

@@ -1,0 +1,151 @@
+"""Template fast-path selection: the generated source must contain the
+specialization each (query shape × layout) case is designed to get."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import operator_source
+from repro.execution.strategies import AccessPlan, ExecutionStrategy
+from repro.sql import analyze_query, parse_query
+from repro.storage import generate_table
+from repro.storage.stitcher import stitch_group
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = generate_table("r", 40, 2000, rng=3, initial_layout="column")
+    row, _ = stitch_group(t.layouts, t.schema.names, t.schema, full_width=True)
+    t.add_layout(row)
+    group, _ = stitch_group(
+        t.layouts, tuple(f"a{i}" for i in range(1, 9)), t.schema
+    )
+    t.add_layout(group)
+    return t
+
+
+def source_for(table, sql, layouts, strategy=ExecutionStrategy.FUSED):
+    info = analyze_query(parse_query(sql), table.schema)
+    plan = AccessPlan(strategy, layouts)
+    return operator_source(info, plan)
+
+
+def group_of(table):
+    return table.find_group({f"a{i}" for i in range(1, 9)})
+
+
+def row_of(table):
+    return [l for l in table.layouts if l.width == table.schema.width][0]
+
+
+class TestFusedFastPaths:
+    def test_unfiltered_projection_is_block_copy(self, table):
+        source = source_for(
+            table, "SELECT a1, a2, a3 FROM r", (group_of(table),)
+        )
+        assert ".astype(np.int64, copy=True)" in source
+        assert "for start" not in source  # no block loop at all
+
+    def test_unfiltered_plain_aggregation_is_axis_reduction(self, table):
+        # 5 of the group's 8 attributes are aggregated -> dense buffer,
+        # whole-buffer axis reductions.
+        source = source_for(
+            table,
+            "SELECT sum(a1), sum(a2), sum(a4), sum(a5), min(a3) FROM r",
+            (group_of(table),),
+        )
+        assert "einsum('ij->j'" in source
+        assert ".min(axis=0)" in source
+
+    def test_sparse_unfiltered_aggregation_per_column(self, table):
+        # Only 3 of 8 attributes -> per-column strided reductions.
+        source = source_for(
+            table,
+            "SELECT sum(a1), sum(a2), min(a3) FROM r",
+            (group_of(table),),
+        )
+        assert "einsum('ij->j'" not in source
+        assert ".sum(dtype=np.float64)" in source
+
+    def test_wide_buffer_gets_per_column_reductions(self, table):
+        source = source_for(
+            table, "SELECT sum(a1), sum(a2) FROM r", (row_of(table),)
+        )
+        # 2 needed of 40: no whole-buffer reduction, per-column sums.
+        assert "einsum('ij->j'" not in source
+        assert source.count(".sum(dtype=np.float64)") == 2
+
+    def test_filtered_aggregation_compacts_with_take(self, table):
+        # 5 of 8 select attributes -> whole-tuple compaction per block.
+        source = source_for(
+            table,
+            "SELECT sum(a1), sum(a2), sum(a4), sum(a5), sum(a6) "
+            "FROM r WHERE a3 < 0",
+            (group_of(table),),
+        )
+        assert "np.flatnonzero" in source
+        assert ".take(idx, axis=0)" in source
+
+    def test_wide_buffer_compacts_per_column(self, table):
+        source = source_for(
+            table,
+            "SELECT sum(a1), sum(a2) FROM r WHERE a3 < 0",
+            (row_of(table),),
+        )
+        assert ".take(idx, axis=0)" not in source  # no 40-wide row copy
+        assert ".take(idx)" in source  # per-column takes
+
+    def test_add_chain_fuses_to_rowsum(self, table):
+        source = source_for(
+            table, "SELECT sum(a1 + a2 + a3 + a4) FROM r", (group_of(table),)
+        )
+        assert "einsum('ij->i'" in source
+
+    def test_mixed_ops_do_not_rowsum(self, table):
+        source = source_for(
+            table, "SELECT sum(a1 * a2 + a3) FROM r", (group_of(table),)
+        )
+        assert "einsum('ij->i'" not in source
+        assert "np.multiply" in source
+
+    def test_predicate_chain_reuses_mask(self, table):
+        source = source_for(
+            table,
+            "SELECT a1 FROM r WHERE a2 < 0 AND a3 > 0 AND a4 != 5",
+            (group_of(table),),
+        )
+        assert source.count("np.logical_and") == 2
+        assert "out=m0" in source
+
+
+class TestLateFaithfulness:
+    def test_late_materializes_per_operator(self, table):
+        source = source_for(
+            table,
+            "SELECT sum(a1 + a2 + a3 + a4) FROM r",
+            tuple(table.narrowest_cover([f"a{i}" for i in range(1, 5)])),
+            strategy=ExecutionStrategy.LATE,
+        )
+        # Three adds, three fresh temporaries, no in-place reuse.
+        assert source.count("np.add") == 3
+        assert "out=" not in source
+        assert "einsum" not in source
+
+    def test_late_selection_vector_pipeline(self, table):
+        source = source_for(
+            table,
+            "SELECT a1 FROM r WHERE a2 < 0 AND a3 > 0",
+            tuple(table.narrowest_cover(["a1", "a2", "a3"])),
+            strategy=ExecutionStrategy.LATE,
+        )
+        assert "np.flatnonzero" in source
+        assert "sel = sel[" in source  # conjunct-by-conjunct refinement
+        assert "[sel]" in source  # gathers at qualifying positions
+
+    def test_parameters_not_inlined(self, table):
+        source = source_for(
+            table,
+            "SELECT a1 FROM r WHERE a2 < 123456789",
+            (group_of(table),),
+        )
+        assert "123456789" not in source
+        assert "params[0]" in source

@@ -1,0 +1,139 @@
+"""Utility helpers: timing, rng derivation, validation, text tables."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Stopwatch,
+    Timer,
+    check_fraction,
+    check_positive,
+    check_unique,
+    derive_rng,
+    ensure_rng,
+    format_seconds,
+    format_table,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_accumulates_phases(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        with watch.measure("a"):
+            pass
+        with watch.measure("b"):
+            pass
+        assert watch.get("a") >= 0
+        assert set(watch.totals) == {"a", "b"}
+        assert watch.total() == pytest.approx(
+            watch.get("a") + watch.get("b")
+        )
+
+    def test_add_direct(self):
+        watch = Stopwatch()
+        watch.add("x", 1.5)
+        watch.add("x", 0.5)
+        assert watch.get("x") == 2.0
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.add("x", 1.0)
+        watch.reset()
+        assert watch.total() == 0.0
+
+    def test_accumulates_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure("x"):
+                raise RuntimeError()
+        assert watch.get("x") >= 0.0
+        assert "x" in watch.totals
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected_unit",
+        [(2.5, "s"), (0.010, "ms"), (3e-5, "us"), (5e-8, "ns")],
+    )
+    def test_units(self, value, expected_unit):
+        assert format_seconds(value).endswith(expected_unit)
+
+    def test_negative(self):
+        assert format_seconds(-0.01).startswith("-")
+
+
+class TestRng:
+    def test_ensure_rng_from_seed(self):
+        a = ensure_rng(42).integers(0, 100, 5)
+        b = ensure_rng(42).integers(0, 100, 5)
+        assert (a == b).all()
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_derive_rng_deterministic(self):
+        a = derive_rng(5, "x").integers(0, 1000, 4)
+        b = derive_rng(5, "x").integers(0, 1000, 4)
+        assert (a == b).all()
+
+    def test_derive_rng_tag_independence(self):
+        a = derive_rng(5, "x").integers(0, 10**9)
+        b = derive_rng(5, "y").integers(0, 10**9)
+        assert a != b  # astronomically unlikely to collide
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("n", 3)
+        with pytest.raises(ValueError):
+            check_positive("n", 0)
+
+    def test_check_fraction_inclusive(self):
+        check_fraction("f", 0.0)
+        check_fraction("f", 1.0)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.2)
+
+    def test_check_fraction_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+
+    def test_check_unique(self):
+        check_unique("name", ["a", "b"])
+        with pytest.raises(ValueError):
+            check_unique("name", ["a", "a"])
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table(["x", "value"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "x" in lines[0] and "value" in lines[0]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.00001], [0.5]])
+        assert "e+" in text or "e-" in text  # large/small use scientific

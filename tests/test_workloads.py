@@ -1,0 +1,188 @@
+"""Workload generators: templates, selectivity targeting, sequences."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql import analyze_query
+from repro.storage import generate_table
+from repro.workloads import (
+    aggregation_query,
+    arithmetic_query,
+    fig7_sequence,
+    fig9_sequence,
+    projection_query,
+    projectivity_sweep,
+    selectivity_sweep,
+    skyserver_workload,
+    threshold_for_selectivity,
+)
+from repro.workloads.skyserver import photoobj_schema
+
+
+class TestTemplates:
+    def test_projection(self):
+        query = projection_query(["a1", "a2"])
+        assert not query.is_aggregation
+        assert query.where is None
+
+    def test_aggregation_funcs(self):
+        for func in ("max", "min", "sum", "avg"):
+            query = aggregation_query(["a1"], func=func)
+            assert query.is_aggregation
+        with pytest.raises(WorkloadError):
+            aggregation_query(["a1"], func="median")
+
+    def test_arithmetic_wraps_in_sum(self):
+        query = arithmetic_query(["a1", "a2", "a3"])
+        assert query.is_aggregation
+        bare = arithmetic_query(["a1", "a2"], aggregate=False)
+        assert not bare.is_aggregation
+
+    def test_empty_attrs_rejected(self):
+        for factory in (projection_query, aggregation_query, arithmetic_query):
+            with pytest.raises(WorkloadError):
+                factory([])
+
+    def test_multi_conjunct_selectivity_split(self):
+        query = aggregation_query(
+            ["a1", "a2"], where_attrs=["a3", "a4"], selectivity=0.25
+        )
+        assert len(query.predicates) == 2
+
+
+class TestSelectivityAccuracy:
+    """Thresholds must hit requested selectivities on uniform data."""
+
+    @pytest.mark.parametrize("target", [0.01, 0.1, 0.4, 0.9])
+    def test_single_predicate(self, target):
+        table = generate_table("r", 2, 50_000, rng=17)
+        query = projection_query(
+            ["a1"], where_attrs=["a2"], selectivity=target
+        )
+        threshold = query.predicates[0].right.value
+        observed = float(
+            (np.asarray(table.column("a2")) < threshold).mean()
+        )
+        assert observed == pytest.approx(target, abs=0.02)
+
+    def test_conjunction_total_selectivity(self):
+        table = generate_table("r", 4, 80_000, rng=18)
+        query = aggregation_query(
+            ["a1"],
+            where_attrs=["a2", "a3", "a4"],
+            selectivity=0.4,
+        )
+        columns = {
+            n: np.asarray(table.column(n)) for n in ("a2", "a3", "a4")
+        }
+        mask = np.ones(table.num_rows, dtype=bool)
+        for conjunct in query.predicates:
+            attr = next(iter(conjunct.columns()))
+            mask &= columns[attr] < conjunct.right.value
+        assert float(mask.mean()) == pytest.approx(0.4, abs=0.03)
+
+    def test_threshold_bounds(self):
+        assert threshold_for_selectivity(0.0) == -(10**9)
+        assert threshold_for_selectivity(1.0) == 10**9
+        with pytest.raises(WorkloadError):
+            threshold_for_selectivity(1.5)
+
+
+class TestSweeps:
+    def test_projectivity_sweep_counts(self):
+        queries = projectivity_sweep(100, [0.02, 0.5, 1.0])
+        widths = [len(q.select_attributes) for q in queries]
+        assert widths == [2, 50, 100]
+
+    def test_projectivity_sweep_where_same_attrs(self):
+        (query,) = projectivity_sweep(
+            50, [0.2], selectivity=0.4, where_same_attrs=True
+        )
+        assert query.where_attributes == query.select_attributes
+
+    def test_selectivity_sweep_fixed_attrs(self):
+        queries = selectivity_sweep(50, 10, [0.01, 0.5])
+        for query in queries:
+            assert len(query.attributes) == 10
+            assert len(query.where_attributes) == 1
+
+
+class TestSequences:
+    def test_fig7_deterministic(self):
+        first = fig7_sequence(num_attrs=40, num_rows=100, rng=5)
+        second = fig7_sequence(num_attrs=40, num_rows=100, rng=5)
+        assert [q.to_sql() for q in first.queries] == [
+            q.to_sql() for q in second.queries
+        ]
+
+    def test_fig7_has_recurring_patterns(self):
+        workload = fig7_sequence(num_attrs=60, num_rows=100, rng=5)
+        histogram = workload.pattern_histogram()
+        assert histogram[0][1] >= 5  # hottest pattern recurs
+
+    def test_fig7_z_range(self):
+        workload = fig7_sequence(
+            num_attrs=60, num_rows=100, z_low=10, z_high=30, rng=5
+        )
+        for query in workload.queries:
+            assert 10 <= len(query.attributes) <= 30
+
+    def test_fig7_rejects_bad_z(self):
+        with pytest.raises(WorkloadError):
+            fig7_sequence(num_attrs=20, z_low=10, z_high=30)
+
+    def test_fig9_shift_structure(self):
+        workload = fig9_sequence(num_attrs=60, num_rows=100, rng=5)
+        phase1 = set().union(
+            *(q.attributes for q in workload.queries[:15])
+        )
+        phase2 = set().union(
+            *(q.attributes for q in workload.queries[15:])
+        )
+        assert not phase1 & phase2  # disjoint focus sets
+        assert workload.table_spec.initial_layout == "row"
+
+    def test_fig9_rejects_narrow_schema(self):
+        with pytest.raises(WorkloadError):
+            fig9_sequence(num_attrs=30, focus_width=20)
+
+    def test_workload_stats(self):
+        workload = fig7_sequence(num_attrs=40, num_rows=100, rng=5)
+        touched, total = workload.attribute_footprint()
+        assert 0 < touched <= total == 40
+        assert workload.mean_attrs_per_query() > 0
+        assert len(workload) == len(workload.queries)
+
+
+class TestSkyServer:
+    def test_schema_is_photoobj_like(self):
+        schema = photoobj_schema()
+        assert schema.width == 128
+        assert "psfMag_r" in schema
+        assert "ra" in schema and "dec" in schema
+
+    def test_workload_valid_against_schema(self):
+        workload = skyserver_workload(num_rows=100, num_queries=40, rng=3)
+        schema = photoobj_schema()
+        for query in workload.queries:
+            analyze_query(query, schema)  # raises on invalid
+
+    def test_zipf_skew(self):
+        workload = skyserver_workload(num_rows=100, num_queries=200, rng=3)
+        histogram = workload.pattern_histogram()
+        # hottest template family dominates the tail
+        assert histogram[0][1] >= 4 * histogram[-1][1]
+
+    def test_deterministic(self):
+        first = skyserver_workload(num_rows=100, num_queries=30, rng=9)
+        second = skyserver_workload(num_rows=100, num_queries=30, rng=9)
+        assert [q.to_sql() for q in first.queries] == [
+            q.to_sql() for q in second.queries
+        ]
+
+    def test_table_spec_row_major(self):
+        workload = skyserver_workload(num_rows=50, num_queries=5, rng=1)
+        table = workload.make_table(rng=1)
+        assert table.num_rows == 50
+        assert table.schema.width == 128
