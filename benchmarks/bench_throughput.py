@@ -1,0 +1,50 @@
+"""Steady-state throughput — the plan-cache fast lane on vs off.
+
+Runs the ``throughput`` experiment's measurement at benchmark scale and
+asserts the headline claim of the fast lane: once the store has adapted
+and the workload repeats its query shapes, enabling the signature-keyed
+plan cache at least doubles queries/second.  The measurement is written
+to a JSON artifact (``BENCH_throughput.json`` or
+``$BENCH_THROUGHPUT_JSON``) so CI can record the trend.
+
+Run directly (``python benchmarks/bench_throughput.py``) or via pytest.
+"""
+
+import json
+import os
+
+from repro.bench.experiments.throughput import run_throughput
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_THROUGHPUT_JSON", "BENCH_throughput.json")
+
+
+def measure():
+    data = run_throughput()
+    with open(_artifact_path(), "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return data
+
+
+def test_fast_lane_doubles_steady_state_qps():
+    data = measure()
+    assert data["fast_lane_hits"] > 0.9 * data["total_queries"] / 2, (
+        "the fast lane barely engaged: "
+        f"{data['fast_lane_hits']}/{data['total_queries']} hits"
+    )
+    assert data["speedup"] >= 2.0, (
+        "steady-state speedup below 2x: "
+        f"on={data['qps_on']:.0f} QPS, off={data['qps_off']:.0f} QPS "
+        f"({data['speedup']:.2f}x); trials on={data['qps_on_trials']} "
+        f"off={data['qps_off_trials']}"
+    )
+
+
+if __name__ == "__main__":
+    result = measure()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        f"\nsteady-state speedup: {result['speedup']:.2f}x "
+        f"(on={result['qps_on']:.0f} QPS, off={result['qps_off']:.0f} QPS)"
+    )

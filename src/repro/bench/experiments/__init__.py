@@ -14,4 +14,5 @@ from . import (  # noqa: F401
     fig14,
     ablations,
     sensitivity,
+    throughput,
 )

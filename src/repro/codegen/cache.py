@@ -8,12 +8,18 @@ Keys are structural: masked query shape (literals replaced by ``?``),
 execution strategy, and the exact layout-combination signature.  Two
 queries differing only in constants therefore share one compiled kernel,
 with the constants passed as runtime parameters.
+
+The cache is bounded: beyond ``capacity`` entries the least-recently
+used operator is evicted (a long-running engine serving a drifting
+workload would otherwise accumulate one compiled kernel per shape ×
+layout combination it ever saw).  ``capacity = 0`` means unbounded.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 
 @dataclass
@@ -30,12 +36,17 @@ class CacheEntry:
 
 @dataclass
 class OperatorCache:
-    """Maps operator signatures to compiled kernels."""
+    """Maps operator signatures to compiled kernels (bounded LRU)."""
 
     enabled: bool = True
-    _entries: Dict[Hashable, CacheEntry] = field(default_factory=dict)
+    #: Maximum number of cached operators; 0 means unbounded.
+    capacity: int = 0
+    _entries: "OrderedDict[Hashable, CacheEntry]" = field(
+        default_factory=OrderedDict
+    )
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def lookup(self, key: Hashable) -> Optional[CacheEntry]:
         """The cached entry for ``key``, counting hit/miss statistics."""
@@ -46,13 +57,20 @@ class OperatorCache:
         if entry is None:
             self.misses += 1
             return None
+        self._entries.move_to_end(key)  # most recently used
         self.hits += 1
         entry.uses += 1
         return entry
 
     def store(self, key: Hashable, entry: CacheEntry) -> None:
-        if self.enabled:
-            self._entries[key] = entry
+        if not self.enabled:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.capacity > 0:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,7 +79,8 @@ class OperatorCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def stats(self) -> Tuple[int, int, int]:
-        """(cached operators, hits, misses)."""
-        return len(self._entries), self.hits, self.misses
+    def stats(self) -> Tuple[int, int, int, int]:
+        """(cached operators, hits, misses, evictions)."""
+        return len(self._entries), self.hits, self.misses, self.evictions

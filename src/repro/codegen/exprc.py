@@ -312,36 +312,14 @@ class ExprCompiler:
 def masked_sql(expr: Expr) -> str:
     """Render ``expr`` with every literal replaced by ``?``.
 
-    Pre-order traversal matching the compiler's parameter collection
-    order, so two queries with equal masked SQL bind their parameter
-    vectors compatibly — this string is the structural part of the
-    operator-cache key.
+    Delegates to the canonical implementation in
+    :mod:`repro.sql.signature` (shared with the engine's plan cache) so
+    the operator cache and the fast lane agree on structural identity.
     """
-    if isinstance(expr, Literal):
-        return "?"
-    if isinstance(expr, ColumnRef):
-        return expr.name
-    if isinstance(expr, Arithmetic):
-        return (
-            f"({masked_sql(expr.left)} {expr.op.value} "
-            f"{masked_sql(expr.right)})"
-        )
-    if isinstance(expr, Comparison):
-        return (
-            f"{masked_sql(expr.left)} {expr.op.value} "
-            f"{masked_sql(expr.right)}"
-        )
-    if isinstance(expr, BooleanOp):
-        return (
-            f"({masked_sql(expr.left)} {expr.op.value.upper()} "
-            f"{masked_sql(expr.right)})"
-        )
-    if isinstance(expr, Not):
-        return f"NOT ({masked_sql(expr.child)})"
-    # Aggregate
-    from ..sql.expressions import Aggregate
+    from ..errors import AnalysisError
+    from ..sql.signature import masked_sql as _canonical_masked_sql
 
-    if isinstance(expr, Aggregate):
-        inner = "*" if expr.arg is None else masked_sql(expr.arg)
-        return f"{expr.func.value}({inner})"
-    raise CodegenError(f"cannot mask {expr!r}")
+    try:
+        return _canonical_masked_sql(expr)
+    except AnalysisError as exc:
+        raise CodegenError(str(exc)) from None

@@ -16,21 +16,10 @@ import numpy as np
 
 from ..config import EngineConfig
 from ..errors import CodegenError
-from ..execution.evaluator import collect_aggregates
 from ..execution.result import QueryResult
 from ..execution.strategies import AccessPlan, ExecutionStrategy
 from ..execution.volcano import projection_dtype
 from ..sql.analyzer import QueryInfo
-from ..sql.expressions import (
-    Aggregate,
-    Arithmetic,
-    BooleanOp,
-    ColumnRef,
-    Comparison,
-    Expr,
-    Literal,
-    Not,
-)
 from ..storage.layout import Layout
 from .cache import CacheEntry, OperatorCache
 from .compile import compile_kernel
@@ -38,47 +27,21 @@ from .exprc import ParamRegistry, masked_sql
 from .templates import KERNEL_NAME, build_source
 
 
-def _walk_literals(expr: Expr, out: List[object], skip_aggs: bool) -> None:
-    """Pre-order literal collection, optionally stopping at aggregates."""
-    if isinstance(expr, Literal):
-        out.append(expr.value)
-    elif isinstance(expr, ColumnRef):
-        pass
-    elif isinstance(expr, (Arithmetic, Comparison, BooleanOp)):
-        _walk_literals(expr.left, out, skip_aggs)
-        _walk_literals(expr.right, out, skip_aggs)
-    elif isinstance(expr, Not):
-        _walk_literals(expr.child, out, skip_aggs)
-    elif isinstance(expr, Aggregate):
-        if not skip_aggs and expr.arg is not None:
-            _walk_literals(expr.arg, out, skip_aggs)
-    else:
-        raise CodegenError(f"cannot collect literals from {expr!r}")
-
-
 def collect_literals(info: QueryInfo) -> List[object]:
     """The canonical runtime-parameter vector for one query.
 
-    The order mirrors template emission exactly: predicate conjuncts
-    first (pre-order each), then — for aggregations — the aggregate
+    Delegates to :func:`repro.sql.signature.query_literals` — the single
+    source of truth shared with the engine's plan cache, whose order
+    mirrors template emission exactly: predicate conjuncts first
+    (pre-order each), then — for aggregations — the unique aggregate
     arguments in collection order followed by the output expressions
     with aggregate subtrees skipped; for projections, the output
     expressions in order.  :class:`ParamRegistry` validates templates
     against this order at generation time.
     """
-    literals: List[object] = []
-    for conjunct in info.query.predicates:
-        _walk_literals(conjunct, literals, skip_aggs=False)
-    if info.is_aggregation:
-        for agg in collect_aggregates(info.query.select):
-            if agg.arg is not None:
-                _walk_literals(agg.arg, literals, skip_aggs=False)
-        for out in info.query.select:
-            _walk_literals(out.expr, literals, skip_aggs=True)
-    else:
-        for out in info.query.select:
-            _walk_literals(out.expr, literals, skip_aggs=False)
-    return literals
+    from ..sql.signature import query_literals
+
+    return query_literals(info.query)
 
 
 def _layout_signature(layouts: Sequence[Layout]) -> Tuple:
@@ -124,20 +87,25 @@ class GeneratedOperator:
 
     def run(
         self, layouts: Sequence[Layout]
-    ) -> Tuple[QueryResult, int]:
+    ) -> Tuple[QueryResult, int, int]:
         """Execute against the given layouts' buffers.
 
         The buffers are bound late so the cached operator serves any
         table whose layout combination matches the generation signature.
+        Returns ``(result, intermediate_bytes, qualifying_rows)`` —
+        aggregation kernels report how many tuples passed the predicate
+        (the shared ``cnt`` accumulator), which feeds the selectivity
+        estimator even though the result itself is a single row.
         """
         buffers = tuple(layout.data for layout in layouts)
         payload = self.kernel(buffers, self.params)
         names = [out.name for out in self.info.query.select]
         if self.info.is_aggregation:
-            result = QueryResult.scalar_row(names, payload)
-        else:
-            result = QueryResult(names, payload)
-        return result, 0
+            values, qualifying = payload
+            result = QueryResult.scalar_row(names, values)
+            return result, 0, int(qualifying)
+        result = QueryResult(names, payload)
+        return result, 0, result.num_rows
 
 
 def operator_source(

@@ -235,13 +235,21 @@ def _emit_return_aggregates(
     slots: Sequence[_AggSlot],
     params: ParamRegistry,
 ) -> None:
+    """Return ``((out0, out1, ...), cnt)``.
+
+    Every aggregation template maintains a ``cnt`` accumulator (the
+    number of qualifying tuples); returning it alongside the outputs
+    lets the engine feed observed predicate selectivity back into the
+    cost model even for aggregation queries, whose one-row result would
+    otherwise hide the qualifying count.
+    """
     agg_names = {slot.agg: f"agg{slot.index}" for slot in slots}
     outs = []
     for out in info.query.select:
         outs.append(
             f"float({_finalize_expr_source(out.expr, agg_names, params)})"
         )
-    sb.line(f"return ({', '.join(outs)},)")
+    sb.line(f"return (({', '.join(outs)},), float(cnt))")
 
 
 # --- Fused (volcano-style) templates -----------------------------------------

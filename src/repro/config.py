@@ -99,6 +99,21 @@ class EngineConfig:
     materialization: str = "lazy"
     #: Whether generated operators are cached and reused.
     operator_cache: bool = True
+    #: Maximum number of compiled operators kept in the operator cache
+    #: (LRU eviction beyond it); 0 means unbounded.
+    max_cached_operators: int = 256
+    #: Whether the engine keeps a signature-keyed plan cache (the
+    #: steady-state fast lane): a repeat query shape skips analysis,
+    #: plan enumeration, Eq. 2 costing and codegen-key construction and
+    #: goes straight to the cached kernel with fresh literals.
+    plan_cache: bool = True
+    #: Maximum number of cached plans (LRU eviction beyond it).
+    plan_cache_size: int = 256
+    #: How far (absolute qualifying-fraction difference) the learned
+    #: selectivity of a predicate may drift from the estimate its cached
+    #: plan was costed with before the fast-lane entry is evicted and
+    #: the next repeat re-plans on the cold path.
+    selectivity_drift_band: float = 0.2
     #: Whether to use on-the-fly generated operators at all; when False the
     #: engine falls back to the generic interpreted operator (Fig. 14).
     use_codegen: bool = True
@@ -139,6 +154,21 @@ class EngineConfig:
             raise AdaptationError(
                 "materialization must be 'lazy', 'eager' or 'never', got "
                 f"{self.materialization!r}"
+            )
+        if self.max_cached_operators < 0:
+            raise AdaptationError(
+                "max_cached_operators must be >= 0 (0 = unbounded), got "
+                f"{self.max_cached_operators}"
+            )
+        if self.plan_cache_size <= 0:
+            raise AdaptationError(
+                f"plan_cache_size must be positive, got "
+                f"{self.plan_cache_size}"
+            )
+        if not 0.0 < self.selectivity_drift_band <= 1.0:
+            raise AdaptationError(
+                "selectivity_drift_band must be in (0, 1], got "
+                f"{self.selectivity_drift_band}"
             )
 
     def with_overrides(self, **kwargs: object) -> "EngineConfig":

@@ -12,6 +12,8 @@ Components map one-to-one onto the paper's architecture (Fig. 3):
 - :mod:`~repro.core.layout_manager` — owns the physical layouts,
 - :mod:`~repro.core.reorganizer` — offline and online (fused with query
   execution) data reorganization,
+- :mod:`~repro.core.plan_cache` — the steady-state fast lane: cached
+  (plan, kernel, parameter extractor) per query shape signature,
 - :mod:`~repro.core.engine` — the query processor tying it together.
 """
 
@@ -22,6 +24,7 @@ from .window import DynamicWindow
 from .history import ShiftDetector
 from .advisor import CandidateLayout, LayoutAdvisor
 from .layout_manager import LayoutManager
+from .plan_cache import CachedPlan, PlanCache
 from .reorganizer import Reorganizer
 from .engine import H2OEngine, QueryReport
 from .system import H2OSystem
@@ -37,6 +40,8 @@ __all__ = [
     "LayoutAdvisor",
     "CandidateLayout",
     "LayoutManager",
+    "PlanCache",
+    "CachedPlan",
     "Reorganizer",
     "H2OEngine",
     "H2OSystem",

@@ -23,42 +23,67 @@ class AffinityMatrix:
         self.schema = schema
         self._index = {name: i for i, name in enumerate(schema.names)}
         self._matrix = np.zeros((schema.width, schema.width), dtype=np.float64)
+        #: Per-pattern fancy-index cache: a recurring workload updates
+        #: the matrix with the same handful of attribute sets on every
+        #: query, so the ``np.ix_`` grids are memoized per frozenset.
+        self._ix_cache: Dict[FrozenSet[str], tuple] = {}
+        #: Whether a removal may have driven cells below zero (float
+        #: drift).  Clamping is deferred to the next *read* — the write
+        #: path runs once per query, the read paths run at adaptation
+        #: time only.
+        self._dirty = False
+
+    def _clamped(self) -> np.ndarray:
+        if self._dirty:
+            np.maximum(self._matrix, 0.0, out=self._matrix)
+            self._dirty = False
+        return self._matrix
 
     @property
     def matrix(self) -> np.ndarray:
         """The raw (width × width) count matrix (diagonal = frequency)."""
-        return self._matrix
+        return self._clamped()
 
     def add(self, attrs: Iterable[str], weight: float = 1.0) -> None:
         """Record one access touching ``attrs`` together."""
-        positions = [self._index[name] for name in attrs if name in self._index]
-        if not positions:
-            return
-        idx = np.array(positions, dtype=np.intp)
-        self._matrix[np.ix_(idx, idx)] += weight
+        grid = None
+        if isinstance(attrs, frozenset):
+            grid = self._ix_cache.get(attrs)
+        if grid is None:
+            positions = [
+                self._index[name] for name in attrs if name in self._index
+            ]
+            if not positions:
+                return
+            idx = np.array(positions, dtype=np.intp)
+            grid = np.ix_(idx, idx)
+            if isinstance(attrs, frozenset):
+                self._ix_cache[attrs] = grid
+        self._matrix[grid] += weight
 
     def remove(self, attrs: Iterable[str], weight: float = 1.0) -> None:
         """Forget one previously recorded access (window eviction)."""
         self.add(attrs, -weight)
-        np.maximum(self._matrix, 0.0, out=self._matrix)
+        self._dirty = True
 
     def affinity(self, first: str, second: str) -> float:
         """Co-access count of two attributes."""
         return float(
-            self._matrix[self._index[first], self._index[second]]
+            self._clamped()[self._index[first], self._index[second]]
         )
 
     def frequency(self, attr: str) -> float:
         """How often ``attr`` was accessed at all."""
         position = self._index[attr]
-        return float(self._matrix[position, position])
+        return float(self._clamped()[position, position])
 
     def hot_attributes(self, limit: int = 0) -> List[Tuple[str, float]]:
         """Attributes by access frequency, hottest first."""
+        matrix = self._clamped()
         pairs = [
-            (name, float(self._matrix[i, i]))
+            (name, float(matrix[i, i]))
             for name, i in self._index.items()
-            if self._matrix[i, i] > 0
+            if matrix[i, i] > 0
         ]
         pairs.sort(key=lambda pair: (-pair[1], pair[0]))
         return pairs[:limit] if limit else pairs
@@ -71,10 +96,11 @@ class AffinityMatrix:
         threshold land in the same cluster.
         """
         names = self.schema.names
+        matrix = self._clamped()
         adjacency: Dict[str, set] = {name: set() for name in names}
         for i, first in enumerate(names):
             for j in range(i + 1, len(names)):
-                if self._matrix[i, j] >= min_affinity:
+                if matrix[i, j] >= min_affinity:
                     second = names[j]
                     adjacency[first].add(second)
                     adjacency[second].add(first)
@@ -97,3 +123,4 @@ class AffinityMatrix:
 
     def reset(self) -> None:
         self._matrix[:] = 0.0
+        self._dirty = False

@@ -19,6 +19,22 @@ Per query (paper Fig. 3 and sections 3.2–3.5):
 All adaptation overheads — advisor runs, code generation, layout
 creation — are charged to the triggering query's response time, exactly
 as the paper reports them.
+
+**The steady-state fast lane.**  Once the store has adapted (the tail
+of Fig. 7), a recurring workload repeats the same query *shapes* with
+fresh literals.  Steps 3–4 then re-derive a decision that cannot have
+changed: analysis, plan enumeration, Eq. 2 costing and operator-cache
+key construction are all functions of (query shape, layouts, candidate
+pool, learned selectivities).  The engine therefore keeps a
+:class:`~repro.core.plan_cache.PlanCache` keyed by the query's masked
+shape signature: a repeat query goes ``signature → cached plan →
+compiled kernel with freshly extracted literals``.  Entries are
+invalidated by the table's layout epoch (any create/retire/append), by
+candidate-pool refreshes (a cached plan must not shortcut past a query
+that should trigger online materialization), and by learned-selectivity
+drift beyond ``config.selectivity_drift_band``.  Monitoring and shift
+detection still run for every query — adaptivity is never bypassed,
+only re-derivation of unchanged decisions.
 """
 
 from __future__ import annotations
@@ -35,12 +51,14 @@ from ..execution.strategies import AccessPlan, enumerate_plans
 from ..sql.analyzer import QueryInfo, analyze_query
 from ..sql.parser import parse_query
 from ..sql.query import Query
+from ..sql.signature import literal_extractor
 from ..storage.relation import Table
 from .advisor import CandidateLayout, LayoutAdvisor
 from .cost_model import CostModel, SelectivityEstimator
 from .history import ShiftDetector
 from .layout_manager import LayoutManager
 from .monitor import Monitor
+from .plan_cache import CachedPlan, PlanCache
 from .reorganizer import Reorganizer
 from .window import DynamicWindow
 
@@ -60,6 +78,9 @@ class QueryReport:
     strategy: str = ""
     used_codegen: bool = False
     codegen_cache_hit: bool = False
+    #: True when the query was answered through the steady-state fast
+    #: lane (cached plan + kernel, no re-analysis/planning/costing).
+    plan_cache_hit: bool = False
     layout_created: Optional[Tuple[str, ...]] = None
     adaptation_ran: bool = False
     shift_detected: bool = False
@@ -95,6 +116,7 @@ class H2OEngine:
         self.manager = LayoutManager(table, self.config)
         self.reorganizer = Reorganizer(self.config)
         self.executor = Executor(self.config)
+        self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
         self.candidates: List[CandidateLayout] = []
         self.reports: List[QueryReport] = []
         self._shift_since_adaptation = False
@@ -115,7 +137,6 @@ class H2OEngine:
                 f"engine serves table {self.table.name!r}, query targets "
                 f"{query.table!r}"
             )
-        info = analyze_query(query, self.table.schema)
         index = len(self.reports)
 
         # 1. Monitoring + shift detection.  Novelty is judged against the
@@ -140,76 +161,37 @@ class H2OEngine:
             self.window.note_shift()
             self.monitor.resize(self.window.size)
 
-        # 2. Periodic adaptation: refresh the candidate pool.  Two cheap
-        # checks avoid re-running the full advisor when it could not
-        # change anything: (a) the window's pattern population and the
-        # layouts are exactly as last time; (b) most of the windowed
-        # demand is already served by existing column groups (the
-        # stable, fully-adapted state where the paper grows the window).
+        # 2. Periodic adaptation: refresh the candidate pool.
         adaptation_ran = False
         if self.window.due():
-            t0 = time.perf_counter()
-            population = frozenset(
-                attrs for attrs, _ in self.monitor.distinct_access_sets()
-            )
-            layouts_key = tuple(
-                layout.attrs for layout in self.table.layouts
-            )
-            snapshot = (population, layouts_key)
-            # The served-demand skip only applies in the stable regime
-            # (no recent shift, window back at its initial size or
-            # larger): after drift, new patterns must reach the advisor
-            # even if the hot ones are already served.
-            stable = (
-                not self._shift_since_adaptation
-                and self.window.size >= self.config.window_size
-            )
-            if snapshot != self._last_adaptation_snapshot and not (
-                stable and self._served_fraction() >= 0.8
-            ):
-                proposals = self.advisor.propose(self.monitor)
-                # Accumulate: earlier proposals stay in the pool until a
-                # query materializes them or fresher analysis supersedes
-                # them — a candidate's pattern may recur only after the
-                # window that proposed it has rolled on.
-                pool = {c.attr_set: c for c in self.candidates}
-                for candidate in proposals:
-                    pool[candidate.attr_set] = candidate
-                ranked = sorted(
-                    pool.values(), key=lambda c: -c.expected_gain
-                )
-                self.candidates = ranked[: 2 * self.config.max_candidates]
-                self._last_adaptation_snapshot = snapshot
-                if self.config.materialization == "eager":
-                    # The ablation discipline: build every proposal now,
-                    # offline, instead of fusing creation with a query.
-                    for candidate in self.candidates:
-                        if candidate.expected_gain > 0:
-                            self.manager.build_group(
-                                candidate.attrs, query_index=index
-                            )
-                    self.candidates = []
+            self._adapt(index, phases)
             adaptation_ran = True
-            self.window.adapted()
-            if not self._shift_since_adaptation:
-                self.window.note_stable()
-            self._shift_since_adaptation = False
-            self.monitor.resize(self.window.size)
-            self._reference_patterns = [
-                attrs for attrs, _ in self.monitor.distinct_access_sets()
-            ]
-            phases["adapt"] = time.perf_counter() - t0
 
-        # 3. Lazy materialization: does this query trigger a candidate?
-        candidate = self._triggered_candidate(info)
-        if candidate is not None:
-            result, stats = self._materialize_and_execute(
-                info, candidate, index, phases
+        # 3. The steady-state fast lane: a repeat query shape under
+        # unchanged layouts skips analysis, planning, costing and
+        # codegen-key construction entirely.
+        entry = None
+        if self.config.plan_cache:
+            entry = self.plan_cache.lookup(
+                query.shape_signature(), self.table.layout_epoch
             )
+        if entry is not None:
+            result, stats = self._execute_fast(entry, query, phases)
+            self._fast_feedback(entry, query, stats)
         else:
-            result, stats = self._plan_and_execute(info, phases)
+            # Cold path: full analysis, lazy materialization check,
+            # plan enumeration + Eq. 2 costing, then cache the decision.
+            info = analyze_query(query, self.table.schema)
+            candidate = self._triggered_candidate(info)
+            if candidate is not None:
+                result, stats = self._materialize_and_execute(
+                    info, candidate, index, phases
+                )
+            else:
+                result, stats = self._plan_and_execute(info, phases)
+            self._feedback(info, stats)
+            self._maybe_cache_plan(query, info, stats)
 
-        self._feedback(info, stats)
         seconds = time.perf_counter() - started
         report = QueryReport(
             index=index,
@@ -221,6 +203,7 @@ class H2OEngine:
             strategy=stats.strategy.value,
             used_codegen=stats.used_codegen,
             codegen_cache_hit=stats.codegen_cache_hit,
+            plan_cache_hit=entry is not None,
             layout_created=(
                 tuple(stats.layout_created.split(","))
                 if stats.layout_created
@@ -239,6 +222,79 @@ class H2OEngine:
         return [self.execute(q) for q in queries]
 
     # Decision steps -------------------------------------------------------------
+
+    def _adapt(self, index: int, phases: Dict[str, float]) -> None:
+        """Refresh the candidate pool (the periodic adaptation phase).
+
+        Two cheap checks avoid re-running the full advisor when it could
+        not change anything: (a) the window's pattern population and the
+        layouts are exactly as last time; (b) most of the windowed
+        demand is already served by existing column groups (the stable,
+        fully-adapted state where the paper grows the window).  When the
+        candidate pool does change, every cached plan is dropped — a
+        fast-lane hit must never shortcut past a query that should now
+        trigger online materialization.
+        """
+        t0 = time.perf_counter()
+        population = frozenset(
+            attrs for attrs, _ in self.monitor.distinct_access_sets()
+        )
+        layouts_key = tuple(
+            layout.attrs for layout in self.table.layouts
+        )
+        snapshot = (population, layouts_key)
+        # The served-demand skip only applies in the stable regime
+        # (no recent shift, window back at its initial size or
+        # larger): after drift, new patterns must reach the advisor
+        # even if the hot ones are already served.
+        stable = (
+            not self._shift_since_adaptation
+            and self.window.size >= self.config.window_size
+        )
+        if snapshot != self._last_adaptation_snapshot and not (
+            stable and self._served_fraction() >= 0.8
+        ):
+            pool_before = {
+                c.attr_set: (c.frequency, c.expected_gain)
+                for c in self.candidates
+            }
+            proposals = self.advisor.propose(self.monitor)
+            # Accumulate: earlier proposals stay in the pool until a
+            # query materializes them or fresher analysis supersedes
+            # them — a candidate's pattern may recur only after the
+            # window that proposed it has rolled on.
+            pool = {c.attr_set: c for c in self.candidates}
+            for candidate in proposals:
+                pool[candidate.attr_set] = candidate
+            ranked = sorted(
+                pool.values(), key=lambda c: -c.expected_gain
+            )
+            self.candidates = ranked[: 2 * self.config.max_candidates]
+            self._last_adaptation_snapshot = snapshot
+            if self.config.materialization == "eager":
+                # The ablation discipline: build every proposal now,
+                # offline, instead of fusing creation with a query.
+                for candidate in self.candidates:
+                    if candidate.expected_gain > 0:
+                        self.manager.build_group(
+                            candidate.attrs, query_index=index
+                        )
+                self.candidates = []
+            pool_after = {
+                c.attr_set: (c.frequency, c.expected_gain)
+                for c in self.candidates
+            }
+            if pool_after != pool_before:
+                self.plan_cache.invalidate_all("candidates")
+        self.window.adapted()
+        if not self._shift_since_adaptation:
+            self.window.note_stable()
+        self._shift_since_adaptation = False
+        self.monitor.resize(self.window.size)
+        self._reference_patterns = [
+            attrs for attrs, _ in self.monitor.distinct_access_sets()
+        ]
+        phases["adapt"] = time.perf_counter() - t0
 
     def _served_fraction(self) -> float:
         """Fraction of windowed queries already served by a group.
@@ -351,17 +407,156 @@ class H2OEngine:
             elapsed - stats.codegen_seconds
         )
         stats.extras["cost_estimate"] = cost
+        stats.extras["access_plan"] = plan
         self.manager.record_use(plan.layouts)
         return result, stats
 
+    # The steady-state fast lane ------------------------------------------------
+
+    def _execute_fast(
+        self, entry: CachedPlan, query: Query, phases: Dict[str, float]
+    ) -> Tuple[QueryResult, ExecStats]:
+        """Answer a repeat query shape from its cached decision.
+
+        With a compiled kernel the whole query becomes: extract the
+        fresh literals, bind the (epoch-validated) layout buffers, call
+        the kernel.  Without one (interpreted configurations) the cached
+        plan still skips analysis, enumeration and costing, and the
+        executor runs it generically.
+        """
+        t0 = time.perf_counter()
+        if entry.kernel is not None and entry.extract_params is not None:
+            params = entry.extract_params(query)
+            buffers = tuple(
+                layout.data for layout in entry.plan.layouts
+            )
+            payload = entry.kernel(buffers, params)
+            names = [out.name for out in query.select]
+            if entry.is_aggregation:
+                values, qualifying_raw = payload
+                result = QueryResult.scalar_row(names, values)
+                qualifying = int(qualifying_raw)
+            else:
+                result = QueryResult(names, payload)
+                qualifying = result.num_rows
+            stats = ExecStats(
+                strategy=entry.plan.strategy,
+                plan=entry.plan_desc,
+                used_codegen=True,
+                codegen_cache_hit=True,
+                rows_out=result.num_rows,
+                qualifying_rows=qualifying,
+            )
+        else:
+            info = QueryInfo(
+                query=query,
+                select_attrs=entry.select_attrs,
+                where_attrs=entry.where_attrs,
+                all_attrs=entry.all_attrs,
+                output_types=entry.output_types,
+                is_aggregation=entry.is_aggregation,
+                has_predicate=entry.has_predicate,
+            )
+            result, stats = self.executor.run_plan(info, entry.plan)
+            stats.extras.pop("operator", None)
+        stats.extras["cost_estimate"] = entry.cost_estimate
+        self.manager.record_use(entry.plan.layouts)
+        phases["execute"] = (
+            phases.get("execute", 0.0) + time.perf_counter() - t0
+        )
+        return result, stats
+
+    def _maybe_cache_plan(
+        self, query: Query, info: QueryInfo, stats: ExecStats
+    ) -> None:
+        """Cache the cold path's decision for future repeats.
+
+        Only plans chosen by cost-based planning are cached (online
+        reorganization changes the layouts, so its epoch is stale by
+        construction; attribute-free queries have nothing to reuse).
+        """
+        if not self.config.plan_cache or not info.all_attrs:
+            return
+        plan = stats.extras.pop("access_plan", None)
+        if plan is None:
+            return
+        operator = stats.extras.pop("operator", None)
+        predicate_key = CostModel._predicate_key(info)
+        self.plan_cache.store(
+            CachedPlan(
+                signature=query.shape_signature(),
+                epoch=self.table.layout_epoch,
+                plan=plan,
+                plan_desc=stats.plan,
+                select_attrs=info.select_attrs,
+                where_attrs=info.where_attrs,
+                all_attrs=info.all_attrs,
+                output_types=info.output_types,
+                is_aggregation=info.is_aggregation,
+                has_predicate=info.has_predicate,
+                kernel=operator.kernel if operator is not None else None,
+                extract_params=(
+                    literal_extractor(query)
+                    if operator is not None
+                    else None
+                ),
+                cost_estimate=stats.extras.get("cost_estimate", 0.0),
+                predicate_key=predicate_key,
+                selectivity=self.selectivity.estimate(
+                    query.where, predicate_key
+                ),
+            )
+        )
+
+    # Selectivity feedback -------------------------------------------------------
+
     def _feedback(self, info: QueryInfo, stats: ExecStats) -> None:
-        """Report observed selectivity back to the estimator."""
-        if not info.has_predicate or info.is_aggregation:
+        """Report observed selectivity back to the estimator.
+
+        Aggregation queries are included through the qualifying-row
+        count the executor now plumbs out of every path (generated
+        kernels report the shared ``cnt`` accumulator); paths that
+        cannot tell (online reorganization) leave it ``None`` and only
+        contribute when the result itself is the qualifying row set.
+        """
+        if not info.has_predicate or self.table.num_rows == 0:
             return
-        if self.table.num_rows == 0:
-            return
+        qualifying = stats.qualifying_rows
+        if qualifying is None:
+            if info.is_aggregation:
+                return
+            qualifying = stats.rows_out
         key = CostModel._predicate_key(info)
-        self.selectivity.observe(key, stats.rows_out / self.table.num_rows)
+        self.selectivity.observe(key, qualifying / self.table.num_rows)
+
+    def _fast_feedback(
+        self, entry: CachedPlan, query: Query, stats: ExecStats
+    ) -> None:
+        """Feedback + drift eviction for fast-lane hits.
+
+        The learned selectivity keeps updating on the fast lane too;
+        when it drifts beyond ``config.selectivity_drift_band`` from the
+        estimate the cached plan was stored with, the entry is evicted
+        so the next repeat re-plans (and re-caches) on the cold path —
+        bounding the regret of a stale plan decision.
+        """
+        if (
+            not entry.has_predicate
+            or stats.qualifying_rows is None
+            or self.table.num_rows == 0
+        ):
+            return
+        self.selectivity.observe(
+            entry.predicate_key,
+            stats.qualifying_rows / self.table.num_rows,
+        )
+        learned = self.selectivity.estimate(
+            query.where, entry.predicate_key
+        )
+        if abs(learned - entry.selectivity) > (
+            self.config.selectivity_drift_band
+        ):
+            self.plan_cache.invalidate(entry.signature, "drift")
 
     # Reporting -----------------------------------------------------------------
 
@@ -388,7 +583,10 @@ class H2OEngine:
             f"  candidates pending: {len(self.candidates)}",
             f"  layouts created: {len(self.manager.creation_log)} "
             f"({self.layout_creation_seconds():.3f}s)",
-            f"  operator cache: {self.executor.operator_cache.stats()}",
+            "  operator cache: size={} hits={} misses={} evictions={}".format(
+                *self.executor.operator_cache.stats()
+            ),
+            f"  plan cache: {self.plan_cache.stats()}",
         ]
         lines.append(self.table.layout_summary())
         return "\n".join(lines)

@@ -42,6 +42,17 @@ class LayoutManager:
         self.creation_log: List[LayoutEvent] = []
         self._uses: Dict[int, int] = {}
 
+    @property
+    def layout_epoch(self) -> int:
+        """The table's layout epoch (see :class:`Table.layout_epoch`).
+
+        Every create/retire path of this manager goes through
+        ``Table.add_layout`` / ``Table.drop_layout``, which bump the
+        epoch; consumers caching layout-derived decisions (the engine's
+        plan cache) validate against this counter.
+        """
+        return self.table.layout_epoch
+
     # Creation ------------------------------------------------------------------
 
     def build_group(

@@ -39,6 +39,13 @@ class Monitor:
         self.where_affinity = AffinityMatrix(schema)
         self._select_patterns: Counter = Counter()
         self._where_patterns: Counter = Counter()
+        #: Whole-query attribute sets, maintained incrementally so that
+        #: :meth:`distinct_access_sets` and :meth:`pattern_frequency` are
+        #: O(distinct patterns) rather than O(window) — both run on the
+        #: engine's per-query path and would otherwise dominate the
+        #: steady state the plan cache is built to accelerate.
+        self._access_sets: Counter = Counter()
+        self._distinct_cache: "List[Tuple[FrozenSet[str], int]] | None" = None
         self.queries_seen = 0
 
     # Window maintenance ----------------------------------------------------
@@ -54,11 +61,15 @@ class Monitor:
         if signature.where_attrs:
             self.where_affinity.add(signature.where_attrs)
             self._where_patterns[signature.where_attrs] += 1
+        if query.attributes:
+            self._access_sets[query.attributes] += 1
+            self._distinct_cache = None
         while len(self._window) > self.capacity:
             self._evict()
 
     def _evict(self) -> None:
-        evicted = self._window.popleft().signature()
+        evicted_query = self._window.popleft()
+        evicted = evicted_query.signature()
         if evicted.select_attrs:
             self.select_affinity.remove(evicted.select_attrs)
             self._select_patterns[evicted.select_attrs] -= 1
@@ -69,6 +80,11 @@ class Monitor:
             self._where_patterns[evicted.where_attrs] -= 1
             if self._where_patterns[evicted.where_attrs] <= 0:
                 del self._where_patterns[evicted.where_attrs]
+        if evicted_query.attributes:
+            self._access_sets[evicted_query.attributes] -= 1
+            if self._access_sets[evicted_query.attributes] <= 0:
+                del self._access_sets[evicted_query.attributes]
+            self._distinct_cache = None
 
     def resize(self, capacity: int) -> None:
         """Adjust the window capacity (the dynamic-window mechanism)."""
@@ -98,18 +114,27 @@ class Monitor:
         return result
 
     def pattern_frequency(self, attrs: FrozenSet[str]) -> int:
-        """How many windowed queries' full access set is ⊆ ``attrs``."""
+        """How many windowed queries' full access set is ⊆ ``attrs``.
+
+        Answered from the incrementally-maintained distinct-set counter:
+        O(distinct patterns) instead of O(window size).
+        """
         return sum(
-            1
-            for query in self._window
-            if query.attributes and query.attributes <= attrs
+            count
+            for pattern, count in self._access_sets.items()
+            if pattern <= attrs
         )
 
     def distinct_access_sets(self) -> List[Tuple[FrozenSet[str], int]]:
-        """Distinct whole-query attribute sets with frequencies."""
-        counter: Counter = Counter(
-            query.attributes for query in self._window if query.attributes
-        )
-        return sorted(
-            counter.items(), key=lambda item: (-item[1], sorted(item[0]))
-        )
+        """Distinct whole-query attribute sets with frequencies.
+
+        The sorted view is cached between window mutations; the engine
+        consults it several times per query (shift reference, adaptation
+        snapshot) and repeated calls in the steady state are O(1).
+        """
+        if self._distinct_cache is None:
+            self._distinct_cache = sorted(
+                self._access_sets.items(),
+                key=lambda item: (-item[1], sorted(item[0])),
+            )
+        return self._distinct_cache

@@ -1,0 +1,160 @@
+"""The steady-state plan cache (the engine's fast lane).
+
+H2O's adaptation overhead is designed to be paid once and amortized
+over a recurring query stream (paper section 3.4 caches generated
+operators for exactly this reason).  The cold path still re-derives the
+*decision* for every query: analyze the parse tree, enumerate (layout
+cover × strategy) plans, cost each with Eq. 2, and rebuild the operator
+cache key.  In the fully-adapted steady state — the tail of Fig. 7 —
+none of that can change between two structurally identical queries
+unless the physical layouts, the candidate pool, or the learned
+selectivities changed.
+
+This module caches the whole decision: a
+:class:`~repro.sql.signature.QueryShapeSignature` maps to the chosen
+:class:`AccessPlan`, the resolved (already compiled) kernel, the
+analyzer facts needed to interpret results, and a prebound
+parameter-extraction function.  A repeat query becomes
+``signature → cached plan → kernel call with fresh literals``.
+
+Invalidation is layered:
+
+- **layout epoch** — every entry is tagged with the table's
+  ``layout_epoch`` at caching time; any layout creation, retirement or
+  row append bumps the epoch and a later lookup drops the stale entry;
+- **candidate pool** — the engine calls :meth:`PlanCache.invalidate_all`
+  whenever the advisor refreshes candidates, because a cached plan must
+  not shortcut past a query that should trigger online materialization;
+- **selectivity drift** — the engine drops an entry when the learned
+  selectivity of its predicate drifts beyond the configured band from
+  the estimate the plan was costed with (Rong et al. frame this as
+  bounding the regret of stale layout/plan decisions).
+
+The cache is a bounded LRU over signatures, so a drifting workload
+cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..execution.strategies import AccessPlan
+from ..sql.query import Query
+from ..sql.signature import QueryShapeSignature
+from ..sql.types import DataType
+
+
+@dataclass
+class CachedPlan:
+    """Everything needed to answer a repeat query without re-planning."""
+
+    signature: QueryShapeSignature
+    #: Table layout epoch this entry was created under.
+    epoch: int
+    plan: AccessPlan
+    #: Human-readable plan string (as ``ExecStats.plan`` reports it).
+    plan_desc: str
+    #: Analyzer facts, valid for every query of this shape.
+    select_attrs: Tuple[str, ...]
+    where_attrs: Tuple[str, ...]
+    all_attrs: Tuple[str, ...]
+    output_types: Tuple[DataType, ...]
+    is_aggregation: bool
+    has_predicate: bool
+    #: Compiled kernel (``None`` when the engine runs interpreted; the
+    #: fast lane then reuses the cached plan but executes generically).
+    kernel: Optional[Callable] = None
+    #: Prebound literal extractor: query -> canonical parameter tuple.
+    extract_params: Optional[Callable[[Query], Tuple[object, ...]]] = None
+    #: Eq. 2 estimate the plan was chosen with.
+    cost_estimate: float = 0.0
+    #: Masked predicate key for the selectivity estimator ("" if none).
+    predicate_key: str = ""
+    #: Selectivity estimate at caching time (drift reference).
+    selectivity: float = 1.0
+    hits: int = 0
+
+
+@dataclass
+class PlanCache:
+    """Signature-keyed LRU of :class:`CachedPlan` entries."""
+
+    capacity: int = 256
+    _entries: "OrderedDict[QueryShapeSignature, CachedPlan]" = field(
+        default_factory=OrderedDict
+    )
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Entries dropped because they went stale (epoch mismatch,
+    #: candidate refresh, selectivity drift), keyed by reason.
+    invalidations: Dict[str, int] = field(default_factory=dict)
+
+    def lookup(
+        self, signature: QueryShapeSignature, epoch: int
+    ) -> Optional[CachedPlan]:
+        """The live entry for ``signature`` under ``epoch``, or None.
+
+        An entry cached under an older layout epoch is dropped on sight
+        (counted as an ``epoch`` invalidation) and reported as a miss —
+        the cold path will re-plan against the current layouts and
+        re-cache.
+        """
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[signature]
+            self._count_invalidation("epoch")
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        entry.hits += 1
+        return entry
+
+    def store(self, entry: CachedPlan) -> None:
+        self._entries[entry.signature] = entry
+        self._entries.move_to_end(entry.signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(
+        self, signature: QueryShapeSignature, reason: str
+    ) -> bool:
+        """Drop one entry (e.g. on selectivity drift)."""
+        if signature in self._entries:
+            del self._entries[signature]
+            self._count_invalidation(reason)
+            return True
+        return False
+
+    def invalidate_all(self, reason: str) -> int:
+        """Drop every entry (e.g. after a candidate-pool refresh)."""
+        dropped = len(self._entries)
+        if dropped:
+            self._entries.clear()
+            self._count_invalidation(reason, dropped)
+        return dropped
+
+    def _count_invalidation(self, reason: str, count: int = 1) -> None:
+        self.invalidations[reason] = (
+            self.invalidations.get(reason, 0) + count
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``engine.describe()`` and the bench reports."""
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": dict(self.invalidations),
+        }

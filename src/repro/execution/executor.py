@@ -34,6 +34,11 @@ class ExecStats:
     #: Bytes of intermediate results materialized during execution.
     intermediate_bytes: int = 0
     rows_out: int = 0
+    #: Number of tuples that qualified the WHERE clause (equals
+    #: ``rows_out`` for projections, but differs for aggregations whose
+    #: result is a single row).  ``None`` when the path cannot tell —
+    #: the engine's selectivity feedback skips those.
+    qualifying_rows: Optional[int] = None
     #: Filled in by the engine when the query also built a layout.
     reorg_seconds: float = 0.0
     layout_created: Optional[str] = None
@@ -50,7 +55,8 @@ class Executor:
         from ..codegen.cache import OperatorCache
 
         self.operator_cache = OperatorCache(
-            enabled=self.config.operator_cache
+            enabled=self.config.operator_cache,
+            capacity=self.config.max_cached_operators,
         )
 
     def run_plan(
@@ -122,11 +128,11 @@ class Executor:
     ) -> Tuple[QueryResult, ExecStats]:
         num_rows = plan.layouts[0].num_rows
         if plan.strategy is ExecutionStrategy.FUSED:
-            result, intermediate = run_fused_interpreted(
+            result, intermediate, qualifying = run_fused_interpreted(
                 info, plan.layouts, self.config.vector_size
             )
         else:
-            result, intermediate = run_late_interpreted(
+            result, intermediate, qualifying = run_late_interpreted(
                 info, plan.layouts, num_rows
             )
         stats = ExecStats(
@@ -135,6 +141,7 @@ class Executor:
             used_codegen=False,
             intermediate_bytes=intermediate,
             rows_out=result.num_rows,
+            qualifying_rows=qualifying,
         )
         return result, stats
 
@@ -148,7 +155,7 @@ class Executor:
         operator, gen_seconds, cache_hit = generate_operator(
             info, plan, self.config, self.operator_cache
         )
-        result, intermediate = operator.run(plan.layouts)
+        result, intermediate, qualifying = operator.run(plan.layouts)
         stats = ExecStats(
             strategy=plan.strategy,
             plan=plan.describe(),
@@ -157,5 +164,9 @@ class Executor:
             codegen_seconds=gen_seconds,
             intermediate_bytes=intermediate,
             rows_out=result.num_rows,
+            qualifying_rows=qualifying,
         )
+        # The engine's plan cache needs the compiled kernel + params to
+        # replay this shape without re-deriving them.
+        stats.extras["operator"] = operator
         return result, stats

@@ -33,6 +33,10 @@ class Aggregate(Operator):
         self._aggregates = collect_aggregates(self._outputs)
         self._accumulators: Dict[AggregateExpr, AggregateAccumulator] = {}
         self._done = False
+        #: Tuples that reached the aggregate (i.e. qualified the filter
+        #: below, if any) — the executor reports this as the qualifying
+        #: row count so selectivity feedback also works for aggregations.
+        self.rows_seen = 0
 
     def open(self) -> None:
         self._child.open()
@@ -40,6 +44,7 @@ class Aggregate(Operator):
             agg: AggregateAccumulator(agg.func) for agg in self._aggregates
         }
         self._done = False
+        self.rows_seen = 0
 
     def next_chunk(self) -> Optional[Chunk]:
         if self._done:
@@ -48,6 +53,7 @@ class Aggregate(Operator):
             chunk = self._child.next_chunk()
             if chunk is None:
                 break
+            self.rows_seen += chunk.num_rows
             for agg, state in self._accumulators.items():
                 if agg.arg is None:  # COUNT(*)
                     state.update(None, chunk.num_rows)

@@ -86,11 +86,12 @@ def _provider_columns(
 
 def run_late_interpreted(
     info: QueryInfo, layouts: Sequence[Layout], num_rows: int
-) -> Tuple[QueryResult, int]:
+) -> Tuple[QueryResult, int, int]:
     """Execute with interpreted late materialization.
 
-    Returns the result and the total bytes of intermediates
-    (selection vectors, gathered columns, per-op arrays) materialized.
+    Returns the result, the total bytes of intermediates (selection
+    vectors, gathered columns, per-op arrays) materialized, and the
+    number of tuples that qualified the predicate.
     """
     columns = _provider_columns(layouts, info.all_attrs)
     selection = SelectionVector.all_rows(num_rows)
@@ -141,4 +142,4 @@ def run_late_interpreted(
         intermediate += int(block.nbytes)
 
     intermediate += selection.materialized_bytes + evaluator.intermediate_bytes
-    return result, intermediate
+    return result, intermediate, selection.count

@@ -44,17 +44,19 @@ def build_pipeline(
 
 def run_fused_interpreted(
     info: QueryInfo, layouts: Sequence[Layout], block_rows: int
-) -> Tuple[QueryResult, int]:
+) -> Tuple[QueryResult, int, int]:
     """Execute with the interpreted volcano pipeline.
 
-    Returns the result plus the bytes of intermediates materialized
-    (filter compaction buffers), which feeds the executor's stats.
+    Returns the result, the bytes of intermediates materialized (filter
+    compaction buffers) and the number of qualifying tuples — the rows
+    that survived the predicate, which feeds the engine's selectivity
+    feedback even for aggregations that emit a single row.
     """
     root = build_pipeline(info, layouts, block_rows)
     if isinstance(root, AggregateOperator):
         for _ in root:
             pass
-        return root.result(), 0
+        return root.result(), 0, root.rows_seen
 
     blocks = []
     intermediate = 0
@@ -71,4 +73,4 @@ def run_fused_interpreted(
         root.close()
     names = [out.name for out in info.query.select]
     result = QueryResult.from_blocks(names, blocks, projection_dtype(info))
-    return result, intermediate
+    return result, intermediate, result.num_rows

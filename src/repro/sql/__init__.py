@@ -33,6 +33,13 @@ from .query import OutputColumn, Query, QuerySignature
 from .parser import parse_query
 from .builder import QueryBuilder
 from .analyzer import analyze_query, QueryInfo
+from .signature import (
+    QueryShapeSignature,
+    literal_extractor,
+    masked_sql,
+    query_literals,
+    shape_signature,
+)
 
 __all__ = [
     "DataType",
@@ -54,4 +61,9 @@ __all__ = [
     "QueryBuilder",
     "analyze_query",
     "QueryInfo",
+    "QueryShapeSignature",
+    "literal_extractor",
+    "masked_sql",
+    "query_literals",
+    "shape_signature",
 ]

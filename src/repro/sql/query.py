@@ -16,6 +16,7 @@ operator cache (kernel reuse across structurally identical queries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import FrozenSet, Optional, Tuple
 
 from ..errors import AnalysisError
@@ -41,7 +42,6 @@ class OutputColumn:
         return sql
 
 
-@dataclass(frozen=True)
 class QuerySignature:
     """The access-pattern shape of a query.
 
@@ -49,15 +49,64 @@ class QuerySignature:
     same clauses and have structurally identical output expressions and
     predicates, so they can share a generated operator and they count as
     the same pattern for monitoring purposes.
+
+    The ``structure`` tuple (rendered SQL of outputs and predicate) is
+    computed lazily: the per-query monitoring hot path only consults the
+    attribute sets, while structure is needed by the cost model's shape
+    cache, the advisor, and signature equality — all of which run off
+    the hot path.  Equality and hashing include the structure, so the
+    semantics match the former eager implementation exactly.
     """
 
-    select_attrs: FrozenSet[str]
-    where_attrs: FrozenSet[str]
-    structure: Tuple[str, ...]
+    __slots__ = ("select_attrs", "where_attrs", "_select", "_where",
+                 "_structure")
+
+    def __init__(
+        self,
+        select_attrs: FrozenSet[str],
+        where_attrs: FrozenSet[str],
+        structure: Optional[Tuple[str, ...]] = None,
+        select: Tuple["OutputColumn", ...] = (),
+        where: Optional[Expr] = None,
+    ) -> None:
+        self.select_attrs = select_attrs
+        self.where_attrs = where_attrs
+        self._structure = tuple(structure) if structure is not None else None
+        self._select = tuple(select)
+        self._where = where
+
+    @property
+    def structure(self) -> Tuple[str, ...]:
+        """Rendered output/predicate SQL (computed on first access)."""
+        if self._structure is None:
+            parts = tuple(out.expr.to_sql() for out in self._select)
+            if self._where is not None:
+                parts += ("WHERE", self._where.to_sql())
+            self._structure = parts
+        return self._structure
 
     @property
     def all_attrs(self) -> FrozenSet[str]:
         return self.select_attrs | self.where_attrs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuerySignature):
+            return NotImplemented
+        return (
+            self.select_attrs == other.select_attrs
+            and self.where_attrs == other.where_attrs
+            and self.structure == other.structure
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.select_attrs, self.where_attrs, self.structure))
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySignature(select_attrs={set(self.select_attrs)!r}, "
+            f"where_attrs={set(self.where_attrs)!r}, "
+            f"structure={self.structure!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -96,13 +145,19 @@ class Query:
             raise AnalysisError("aggregates are not allowed in WHERE")
 
     # Access-pattern views ---------------------------------------------
+    #
+    # The attribute sets are consulted several times per query on the
+    # engine's hot path (monitoring, shift detection, candidate match);
+    # they are pure functions of the frozen AST, so they are computed
+    # once per Query instance (``cached_property`` writes straight into
+    # ``__dict__``, which a frozen dataclass permits).
 
-    @property
+    @cached_property
     def is_aggregation(self) -> bool:
         """Whether this query returns one aggregated row."""
         return self.select[0].expr.contains_aggregate()
 
-    @property
+    @cached_property
     def select_attributes(self) -> FrozenSet[str]:
         """Attributes referenced anywhere in the SELECT clause."""
         names: set = set()
@@ -110,19 +165,19 @@ class Query:
             names |= out.expr.columns()
         return frozenset(names)
 
-    @property
+    @cached_property
     def where_attributes(self) -> FrozenSet[str]:
         """Attributes referenced in the WHERE clause."""
         if self.where is None:
             return frozenset()
         return self.where.columns()
 
-    @property
+    @cached_property
     def attributes(self) -> FrozenSet[str]:
         """All attributes this query touches."""
         return self.select_attributes | self.where_attributes
 
-    @property
+    @cached_property
     def predicates(self) -> Tuple[Expr, ...]:
         """Top-level AND-ed conjuncts of the WHERE clause."""
         return flatten_conjuncts(self.where)
@@ -138,17 +193,30 @@ class Query:
     def signature(self) -> QuerySignature:
         """The hashable access-pattern shape of this query (cached)."""
         if not self._signature_cache:
-            structure = tuple(out.expr.to_sql() for out in self.select)
-            if self.where is not None:
-                structure += ("WHERE", self.where.to_sql())
             self._signature_cache.append(
                 QuerySignature(
                     select_attrs=self.select_attributes,
                     where_attrs=self.where_attributes,
-                    structure=structure,
+                    select=self.select,
+                    where=self.where,
                 )
             )
         return self._signature_cache[0]
+
+    def shape_signature(self):
+        """The literal-masked canonical shape of this query (cached).
+
+        This is the plan-cache key of the engine's steady-state fast
+        lane: two queries with equal shape signatures can share one
+        access plan and one compiled kernel, re-binding only literals.
+        See :mod:`repro.sql.signature`.
+        """
+        if len(self._signature_cache) < 2:
+            from .signature import shape_signature
+
+            self.signature()  # ensure slot 0 holds the access signature
+            self._signature_cache.append(shape_signature(self))
+        return self._signature_cache[1]
 
     def to_sql(self) -> str:
         """Render the query back to SQL-subset text."""

@@ -1,0 +1,201 @@
+"""Canonical query-shape signatures: literals masked, structure kept.
+
+The steady-state fast lane (and the operator cache before it) relies on
+one idea from the paper's section 3.4: two queries that differ only in
+their constants are *the same work* — they can share a compiled
+operator, a chosen access plan, and a costing decision, with the
+constants re-bound at run time.  This module is the single source of
+truth for that equivalence:
+
+- :func:`masked_sql` renders an expression with every literal replaced
+  by ``?`` (pre-order, matching the parameter-collection order of the
+  code generator);
+- :func:`query_literals` extracts a query's literal values in exactly
+  that canonical order, so a kernel compiled for one member of a shape
+  class can be invoked with any other member's constants;
+- :func:`literal_extractor` prebinds the traversal decisions (is the
+  query an aggregation?) into a reusable extraction function — the
+  per-repeat work is a single AST walk;
+- :func:`shape_signature` produces the hashable
+  :class:`QueryShapeSignature` that keys the engine's plan cache.
+
+``repro.codegen`` consumes these helpers for its operator-cache key;
+``repro.core.plan_cache`` consumes them for the fast lane.  Keeping them
+here (in ``repro.sql``) keeps the dependency arrow one-directional:
+sql ← codegen, sql ← core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from .expressions import (
+    Aggregate,
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Not,
+)
+from .query import Query
+
+
+#: Per-node-type renderers: a single exact-type dict lookup replaces a
+#: chain of ``isinstance`` checks on a path the fast lane walks for every
+#: repeat query (lookup-key construction and parameter extraction).
+_MASKERS: Dict[type, Callable[[Expr], str]] = {
+    Literal: lambda expr: "?",
+    ColumnRef: lambda expr: expr.name,
+    Arithmetic: lambda expr: (
+        f"({masked_sql(expr.left)} {expr.op.value} "
+        f"{masked_sql(expr.right)})"
+    ),
+    Comparison: lambda expr: (
+        f"{masked_sql(expr.left)} {expr.op.value} "
+        f"{masked_sql(expr.right)}"
+    ),
+    BooleanOp: lambda expr: (
+        f"({masked_sql(expr.left)} {expr.op.value.upper()} "
+        f"{masked_sql(expr.right)})"
+    ),
+    Not: lambda expr: f"NOT ({masked_sql(expr.child)})",
+    Aggregate: lambda expr: (
+        f"{expr.func.value}"
+        f"({'*' if expr.arg is None else masked_sql(expr.arg)})"
+    ),
+}
+
+
+def masked_sql(expr: Expr) -> str:
+    """Render ``expr`` with every literal replaced by ``?``.
+
+    Pre-order traversal matching the compiler's parameter collection
+    order, so two expressions with equal masked SQL bind their parameter
+    vectors compatibly — this string is the structural part of both the
+    operator-cache key and the plan-cache signature.
+    """
+    masker = _MASKERS.get(type(expr))
+    if masker is None:
+        raise AnalysisError(f"cannot mask {expr!r}")
+    return masker(expr)
+
+
+def _walk_literals(expr: Expr, out: List[object], skip_aggs: bool) -> None:
+    """Pre-order literal collection, optionally stopping at aggregates."""
+    kind = type(expr)
+    if kind is Literal:
+        out.append(expr.value)
+    elif kind is ColumnRef:
+        pass
+    elif kind is Arithmetic or kind is Comparison or kind is BooleanOp:
+        _walk_literals(expr.left, out, skip_aggs)
+        _walk_literals(expr.right, out, skip_aggs)
+    elif kind is Not:
+        _walk_literals(expr.child, out, skip_aggs)
+    elif kind is Aggregate:
+        if not skip_aggs and expr.arg is not None:
+            _walk_literals(expr.arg, out, skip_aggs)
+    else:
+        raise AnalysisError(f"cannot collect literals from {expr!r}")
+
+
+def _unique_aggregates(query: Query) -> Tuple[Aggregate, ...]:
+    """Unique aggregate nodes across the outputs, in first-seen order.
+
+    Mirrors ``repro.execution.evaluator.collect_aggregates`` exactly
+    (structural dedup): the templates emit one accumulator per *unique*
+    aggregate, so the canonical literal order must dedup the same way.
+    """
+    seen: Dict[Aggregate, None] = {}
+    for out in query.select:
+        for agg in out.expr.aggregates():
+            seen.setdefault(agg, None)
+    return tuple(seen.keys())
+
+
+def _collect(query: Query, is_aggregation: bool) -> List[object]:
+    literals: List[object] = []
+    for conjunct in query.predicates:
+        _walk_literals(conjunct, literals, skip_aggs=False)
+    if is_aggregation:
+        for agg in _unique_aggregates(query):
+            if agg.arg is not None:
+                _walk_literals(agg.arg, literals, skip_aggs=False)
+        for out in query.select:
+            _walk_literals(out.expr, literals, skip_aggs=True)
+    else:
+        for out in query.select:
+            _walk_literals(out.expr, literals, skip_aggs=False)
+    return literals
+
+
+def query_literals(query: Query) -> List[object]:
+    """The canonical runtime-parameter vector of one query.
+
+    The order mirrors template emission exactly: predicate conjuncts
+    first (pre-order each), then — for aggregations — the unique
+    aggregate arguments in collection order followed by the output
+    expressions with aggregate subtrees skipped; for projections, the
+    output expressions in order.
+    """
+    return _collect(query, query.is_aggregation)
+
+
+def literal_extractor(query: Query) -> Callable[[Query], Tuple[object, ...]]:
+    """A prebound parameter-extraction function for ``query``'s shape.
+
+    The returned callable maps any query of the *same shape signature*
+    to its parameter tuple in canonical order; the shape-dependent
+    traversal decisions (aggregation vs. projection) are bound once, so
+    a fast-lane repeat pays a single literal walk and nothing else.
+    """
+    is_aggregation = query.is_aggregation
+
+    def extract(repeat: Query) -> Tuple[object, ...]:
+        return tuple(_collect(repeat, is_aggregation))
+
+    return extract
+
+
+@dataclass(frozen=True)
+class QueryShapeSignature:
+    """The literal-independent identity of a query.
+
+    Two queries with equal shape signatures touch the same table with
+    structurally identical SELECT and WHERE clauses whose literals have
+    the same Python types (int vs. float changes output dtypes and
+    compiled parameter handling, so types are part of the shape).  The
+    ``param_types`` tuple also disambiguates shapes whose *masked* text
+    collides but whose aggregate dedup differs (``sum(a + 1), sum(a +
+    1)`` folds to one accumulator, ``sum(a + 1), sum(a + 2)`` to two).
+    """
+
+    table: str
+    masked_select: Tuple[str, ...]
+    masked_where: Optional[str]
+    param_types: Tuple[str, ...]
+
+
+def shape_signature(query: Query) -> QueryShapeSignature:
+    """Compute the canonical :class:`QueryShapeSignature` of ``query``.
+
+    Prefer :meth:`repro.sql.query.Query.shape_signature`, which caches
+    the result on the query object.
+    """
+    masked_select = tuple(masked_sql(out.expr) for out in query.select)
+    masked_where = (
+        masked_sql(query.where) if query.where is not None else None
+    )
+    param_types = tuple(
+        type(value).__name__ for value in query_literals(query)
+    )
+    return QueryShapeSignature(
+        table=query.table,
+        masked_select=masked_select,
+        masked_where=masked_where,
+        param_types=param_types,
+    )

@@ -41,6 +41,12 @@ class Table:
         self.schema = schema
         self._layouts: List[Layout] = list(layouts)
         self._attr_index = None
+        #: Monotonic counter bumped whenever the physical state changes
+        #: (layout added/dropped, rows appended).  Anything caching a
+        #: decision derived from the layouts — the engine's plan cache
+        #: above all — tags its entries with the epoch and treats a
+        #: mismatch as invalidation.
+        self.layout_epoch: int = 0
         if not self._layouts:
             raise StorageError(f"table {name!r} needs at least one layout")
         rows = {layout.num_rows for layout in self._layouts}
@@ -120,6 +126,7 @@ class Table:
                 f"layout stores attributes not in schema: {unknown}"
             )
         self._layouts.append(layout)
+        self.layout_epoch += 1
         self._invalidate_index()
 
     def drop_layout(self, layout: Layout) -> None:
@@ -137,6 +144,7 @@ class Table:
                 f"unstored: {sorted(missing)}"
             )
         self._layouts = remaining
+        self.layout_epoch += 1
         self._invalidate_index()
 
     def _check_coverage(self) -> None:
@@ -173,6 +181,7 @@ class Table:
             layout.extended(columns) for layout in self._layouts
         ]
         self.num_rows += extra
+        self.layout_epoch += 1
         self._invalidate_index()
 
     # Access ----------------------------------------------------------------

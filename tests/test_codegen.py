@@ -169,7 +169,27 @@ class TestOperatorCache:
 
         cache.store("k", CacheEntry(kernel=lambda: 0, source="", filename=""))
         assert cache.lookup("k") is not None
-        assert cache.stats() == (1, 1, 1)
+        assert cache.stats() == (1, 1, 1, 0)
+
+    def test_lru_eviction_bound(self):
+        from repro.codegen.cache import CacheEntry
+
+        cache = OperatorCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.store(
+                key, CacheEntry(kernel=lambda: 0, source="", filename="")
+            )
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup("a") is None  # least recently used, evicted
+        assert cache.lookup("b") is not None
+        # "b" is now most recently used; storing "d" evicts "c".
+        cache.store(
+            "d", CacheEntry(kernel=lambda: 0, source="", filename="")
+        )
+        assert cache.lookup("c") is None
+        assert cache.lookup("b") is not None
+        assert cache.stats()[3] == 2
 
     def test_disabled_cache_never_hits(self):
         cache = OperatorCache(enabled=False)

@@ -1,0 +1,271 @@
+"""The steady-state fast lane: plan-cache correctness and invalidation.
+
+The fast lane may skip analysis, planning, costing and codegen-key
+construction — but never correctness: a cached-plan answer must be
+bit-for-bit the answer the cold path would have produced, and any event
+that could change the cold path's decision (new layouts, retired
+layouts, appended rows, refreshed candidates, drifted selectivity) must
+drop the cached entry.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.core.plan_cache import CachedPlan, PlanCache
+from repro.sql import parse_query
+from repro.storage import generate_table
+
+
+def fresh_engine(plan_cache=True, rows=2_000, attrs=8, rng=7, **overrides):
+    """An engine over its own private copy of the deterministic table."""
+    table = generate_table("r", attrs, rows, rng=rng)
+    config = EngineConfig(plan_cache=plan_cache, **overrides)
+    return H2OEngine(table, config)
+
+
+class TestFastLaneEngages:
+    def test_repeat_shape_hits_the_cache(self):
+        engine = fresh_engine()
+        reports = [
+            engine.execute(f"SELECT sum(a1 + a2) FROM r WHERE a3 > {v}")
+            for v in (10, 20, 30, 40)
+        ]
+        assert not reports[0].plan_cache_hit  # cold
+        assert all(r.plan_cache_hit for r in reports[1:])
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 3 and stats["size"] >= 1
+
+    def test_hit_answers_match_numpy(self):
+        engine = fresh_engine()
+        a1 = np.asarray(engine.table.column("a1"))
+        a3 = np.asarray(engine.table.column("a3"))
+        for v in (0, 10**8, -(10**8)):
+            report = engine.execute(
+                f"SELECT sum(a1), count(*) FROM r WHERE a3 > {v}"
+            )
+            mask = a3 > v
+            assert report.result.scalars() == pytest.approx(
+                (float(a1[mask].sum()), float(mask.sum()))
+            )
+        assert engine.reports[-1].plan_cache_hit
+
+    def test_projection_hits_match_numpy(self):
+        engine = fresh_engine()
+        a1 = np.asarray(engine.table.column("a1"))
+        a2 = np.asarray(engine.table.column("a2"))
+        for v in (0, 5 * 10**8):
+            report = engine.execute(f"SELECT a1 FROM r WHERE a2 < {v}")
+            assert (report.result.column(0) == a1[a2 < v]).all()
+        assert engine.reports[-1].plan_cache_hit
+
+    def test_disabled_means_no_hits(self):
+        engine = fresh_engine(plan_cache=False)
+        for v in (1, 2, 3):
+            engine.execute(f"SELECT sum(a1) FROM r WHERE a2 > {v}")
+        assert not any(r.plan_cache_hit for r in engine.reports)
+        assert engine.plan_cache.stats()["hits"] == 0
+
+    def test_describe_reports_plan_cache(self):
+        engine = fresh_engine()
+        engine.execute("SELECT a1 FROM r")
+        assert "plan cache" in engine.describe()
+
+
+#: Recurring shapes for the equivalence property; ``{v}`` takes a drawn
+#: literal so repeats share a shape signature without sharing constants.
+PROPERTY_SHAPES = (
+    "SELECT sum(a1 + a2), count(*) FROM r WHERE a3 > {v}",
+    "SELECT a1, a4 FROM r WHERE a2 < {v}",
+    "SELECT min(a5), max(a1) FROM r",
+    "SELECT avg(a2), sum(a3 * a4) FROM r WHERE a1 > {v} AND a5 < {v}",
+    "SELECT a2, a3, a5 FROM r WHERE a4 > {v}",
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, len(PROPERTY_SHAPES) - 1),
+            st.integers(-(10**9), 10**9),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_cached_plan_answers_equal_cold_path_answers(stream, seed):
+    """Property: the fast lane never changes an answer.
+
+    The same stream runs through two engines over identical data — one
+    with the plan cache, one without — through whatever adaptation and
+    layout churn the stream provokes; every result pair must agree.
+    """
+    table_on = generate_table("r", 5, 400, rng=seed)
+    table_off = generate_table("r", 5, 400, rng=seed)
+    engine_on = H2OEngine(table_on, EngineConfig(plan_cache=True))
+    engine_off = H2OEngine(table_off, EngineConfig(plan_cache=False))
+    for shape_index, literal in stream:
+        sql = PROPERTY_SHAPES[shape_index].format(v=literal)
+        hot = engine_on.execute(sql).result
+        cold = engine_off.execute(sql).result
+        assert hot.allclose(cold), sql
+
+
+class TestEpochInvalidation:
+    def test_append_rows_drops_cached_plans(self):
+        engine = fresh_engine(rows=1_000, attrs=4)
+        sql = "SELECT sum(a1), count(*) FROM r WHERE a2 > {v}"
+        engine.execute(sql.format(v=5))
+        before = engine.execute(sql.format(v=6))
+        assert before.plan_cache_hit
+
+        extra = {
+            name: np.full(50, 10**8, dtype=np.int64)
+            for name in engine.table.schema.names
+        }
+        engine.table.append_rows(extra)
+
+        after = engine.execute(sql.format(v=7))
+        assert not after.plan_cache_hit  # stale entry dropped on sight
+        assert engine.plan_cache.stats()["invalidations"].get("epoch", 0) >= 1
+        # The re-planned answer sees the appended tuples.
+        a1 = np.asarray(engine.table.column("a1"))
+        a2 = np.asarray(engine.table.column("a2"))
+        mask = a2 > 7
+        assert after.result.scalars() == pytest.approx(
+            (float(a1[mask].sum()), float(mask.sum()))
+        )
+        # And the shape re-enters the fast lane under the new epoch.
+        assert engine.execute(sql.format(v=8)).plan_cache_hit
+
+    def test_new_layout_drops_cached_plans(self):
+        engine = fresh_engine(rows=1_000, attrs=6)
+        sql = "SELECT a1 FROM r WHERE a2 < {v}"
+        engine.execute(sql.format(v=0))
+        assert engine.execute(sql.format(v=1)).plan_cache_hit
+
+        epoch = engine.table.layout_epoch
+        engine.manager.build_group(("a1", "a2"))
+        assert engine.table.layout_epoch > epoch
+
+        report = engine.execute(sql.format(v=2))
+        assert not report.plan_cache_hit
+        assert engine.execute(sql.format(v=3)).plan_cache_hit
+
+    def test_retired_layout_drops_cached_plans(self):
+        engine = fresh_engine(rows=1_000, attrs=6)
+        group, _ = engine.manager.build_group(("a3", "a4"))
+        sql = "SELECT sum(a3 + a4) FROM r WHERE a5 > {v}"
+        engine.execute(sql.format(v=0))
+        assert engine.execute(sql.format(v=1)).plan_cache_hit
+
+        engine.table.drop_layout(group)  # cold-group retirement path
+
+        report = engine.execute(sql.format(v=2))
+        assert not report.plan_cache_hit
+        # The replacement plan no longer touches the dropped layout.
+        assert report.result is not None
+        assert engine.execute(sql.format(v=3)).plan_cache_hit
+
+    def test_adaptation_churn_stays_correct(self):
+        """Through materialization and candidate refreshes, repeats of
+        one hot shape keep producing the first answer and eventually ride
+        the fast lane again."""
+        table = generate_table("r", 12, 10_000, rng=2)
+        engine = H2OEngine(table, EngineConfig(window_size=8))
+        sql = "SELECT sum(a1 + a2 + a3) FROM r WHERE a4 > 0 AND a5 < 0"
+        reports = [engine.execute(sql) for _ in range(25)]
+        for report in reports[1:]:
+            assert reports[0].result.allclose(report.result)
+        assert any(r.layout_created for r in reports)  # adaptation happened
+        assert any(r.plan_cache_hit for r in reports[-5:])
+        # Every query that built a layout re-planned on the cold path.
+        assert all(
+            not r.plan_cache_hit for r in reports if r.layout_created
+        )
+
+
+class TestDriftInvalidation:
+    def test_selectivity_drift_evicts_the_entry(self):
+        engine = fresh_engine(
+            rows=2_000, attrs=4, selectivity_drift_band=0.2
+        )
+        sql = "SELECT a1 FROM r WHERE a2 < {v}"
+        empty, full = -(2 * 10**9), 2 * 10**9
+        for _ in range(4):  # learn: nothing qualifies
+            engine.execute(sql.format(v=empty))
+        for _ in range(4):  # same shape, everything qualifies
+            engine.execute(sql.format(v=full))
+        stats = engine.plan_cache.stats()
+        assert stats["invalidations"].get("drift", 0) >= 1
+        # After re-planning under the new selectivity the shape is hot again.
+        assert engine.execute(sql.format(v=full)).plan_cache_hit
+
+
+def _entry(sql: str, epoch: int = 0) -> CachedPlan:
+    query = parse_query(sql)
+    return CachedPlan(
+        signature=query.shape_signature(),
+        epoch=epoch,
+        plan=None,
+        plan_desc="test",
+        select_attrs=tuple(sorted(query.select_attributes)),
+        where_attrs=tuple(sorted(query.where_attributes)),
+        all_attrs=tuple(sorted(query.attributes)),
+        output_types=(),
+        is_aggregation=query.is_aggregation,
+        has_predicate=query.where is not None,
+    )
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction_beyond_capacity(self):
+        cache = PlanCache(capacity=2)
+        first = _entry("SELECT a1 FROM r")
+        second = _entry("SELECT a2 FROM r")
+        third = _entry("SELECT a3 FROM r")
+        cache.store(first)
+        cache.store(second)
+        cache.lookup(first.signature, 0)  # refresh first; second is LRU
+        cache.store(third)
+        assert len(cache) == 2 and cache.evictions == 1
+        assert cache.lookup(second.signature, 0) is None
+        assert cache.lookup(first.signature, 0) is first
+        assert cache.lookup(third.signature, 0) is third
+
+    def test_epoch_mismatch_drops_on_sight(self):
+        cache = PlanCache()
+        entry = _entry("SELECT a1 FROM r", epoch=3)
+        cache.store(entry)
+        assert cache.lookup(entry.signature, 4) is None
+        assert len(cache) == 0
+        assert cache.invalidations == {"epoch": 1}
+        assert cache.misses == 1
+
+    def test_invalidate_all_counts_reason(self):
+        cache = PlanCache()
+        cache.store(_entry("SELECT a1 FROM r"))
+        cache.store(_entry("SELECT a2 FROM r"))
+        assert cache.invalidate_all("candidates") == 2
+        assert len(cache) == 0
+        assert cache.invalidations == {"candidates": 2}
+
+    def test_stats_shape(self):
+        cache = PlanCache()
+        entry = _entry("SELECT a1 FROM r")
+        cache.store(entry)
+        cache.lookup(entry.signature, 0)
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "hits": 1,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": {},
+        }
+        assert entry.hits == 1
