@@ -37,6 +37,7 @@ from .storage import (
 )
 from .execution import ExecutionStrategy, QueryResult
 from .core import CostModel, H2OEngine, H2OSystem, QueryReport
+from .service import H2OService, QueryFuture, Session
 from .baselines import (
     AutoPartEngine,
     ColumnStoreEngine,
@@ -68,7 +69,10 @@ __all__ = [
     "CostModel",
     "H2OEngine",
     "H2OSystem",
+    "H2OService",
+    "QueryFuture",
     "QueryReport",
+    "Session",
     "RowStoreEngine",
     "ColumnStoreEngine",
     "OptimalEngine",

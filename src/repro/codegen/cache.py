@@ -13,13 +13,22 @@ The cache is bounded: beyond ``capacity`` entries the least-recently
 used operator is evicted (a long-running engine serving a drifting
 workload would otherwise accumulate one compiled kernel per shape ×
 layout combination it ever saw).  ``capacity = 0`` means unbounded.
+
+**Thread safety.**  One operator cache is shared by all workers of the
+concurrent query service (codegen happens *outside* the engine's
+decision lock so compilation never stalls other queries' planning), so
+every operation — including the LRU reordering a lookup performs — runs
+under an internal lock.  Two workers racing to compile the same key do
+redundant work once; both stores are consistent and the last one wins.
+:meth:`stats` and :meth:`stats_dict` return defensive copies.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 
 @dataclass
@@ -36,7 +45,10 @@ class CacheEntry:
 
 @dataclass
 class OperatorCache:
-    """Maps operator signatures to compiled kernels (bounded LRU)."""
+    """Maps operator signatures to compiled kernels (bounded LRU).
+
+    All methods are safe to call from multiple threads.
+    """
 
     enabled: bool = True
     #: Maximum number of cached operators; 0 means unbounded.
@@ -47,40 +59,67 @@ class OperatorCache:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def lookup(self, key: Hashable) -> Optional[CacheEntry]:
         """The cached entry for ``key``, counting hit/miss statistics."""
-        if not self.enabled:
-            self.misses += 1
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)  # most recently used
-        self.hits += 1
-        entry.uses += 1
-        return entry
+        with self._lock:
+            if not self.enabled:
+                self.misses += 1
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)  # most recently used
+            self.hits += 1
+            entry.uses += 1
+            return entry
 
     def store(self, key: Hashable, entry: CacheEntry) -> None:
-        if not self.enabled:
-            return
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        if self.capacity > 0:
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        with self._lock:
+            if not self.enabled:
+                return
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if self.capacity > 0:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Tuple[int, int, int, int]:
-        """(cached operators, hits, misses, evictions)."""
-        return len(self._entries), self.hits, self.misses, self.evictions
+        """(cached operators, hits, misses, evictions).
+
+        A consistent immutable copy taken under the lock — never a view
+        of live internal state.
+        """
+        with self._lock:
+            return (
+                len(self._entries),
+                self.hits,
+                self.misses,
+                self.evictions,
+            )
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Named counters as a fresh (defensive) dict."""
+        size, hits, misses, evictions = self.stats()
+        return {
+            "size": size,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+        }

@@ -129,6 +129,21 @@ class EngineConfig:
     #: section 3.2): a pattern seen k times in the window is expected to
     #: recur about this-times-k more before it fades.
     future_use_multiplier: float = 2.0
+    #: Where adaptation work (advisor runs and layout materialization)
+    #: happens:
+    #: - "inline" (the paper-faithful default): the advisor runs on the
+    #:   query path when the window elapses and new layouts are built
+    #:   *online*, fused with the triggering query — all adaptation cost
+    #:   is charged to that query's response time;
+    #: - "background": queries only *signal* that adaptation is due; a
+    #:   background scheduler (see :mod:`repro.service`) runs the
+    #:   advisor and materializes layouts off the query path from a
+    #:   pinned snapshot, publishing each finished layout atomically via
+    #:   an epoch bump.  Queries never pay adaptation cost, at the price
+    #:   of answering a few more queries from pre-adaptation layouts.
+    #:   Without a scheduler attached the engine safely degrades to
+    #:   inline behaviour.
+    adaptation_mode: str = "inline"
     #: Storage budget in bytes for the table *including* replicated
     #: groups; 0 means unlimited.  When a new layout pushes the table
     #: past the budget, the least-used replicated groups are retired
@@ -164,6 +179,11 @@ class EngineConfig:
             raise AdaptationError(
                 f"plan_cache_size must be positive, got "
                 f"{self.plan_cache_size}"
+            )
+        if self.adaptation_mode not in ("inline", "background"):
+            raise AdaptationError(
+                "adaptation_mode must be 'inline' or 'background', got "
+                f"{self.adaptation_mode!r}"
             )
         if not 0.0 < self.selectivity_drift_band <= 1.0:
             raise AdaptationError(

@@ -18,7 +18,7 @@ Per query (paper Fig. 3 and sections 3.2–3.5):
 
 All adaptation overheads — advisor runs, code generation, layout
 creation — are charged to the triggering query's response time, exactly
-as the paper reports them.
+as the paper reports them (``adaptation_mode="inline"``, the default).
 
 **The steady-state fast lane.**  Once the store has adapted (the tail
 of Fig. 7), a recurring workload repeats the same query *shapes* with
@@ -35,16 +35,45 @@ that should trigger online materialization), and by learned-selectivity
 drift beyond ``config.selectivity_drift_band``.  Monitoring and shift
 detection still run for every query — adaptivity is never bypassed,
 only re-derivation of unchanged decisions.
+
+**Concurrency model.**  The engine serves many threads (the
+:mod:`repro.service` worker pool).  Every query runs in three stages:
+
+1. *prepare* (under ``engine.lock``): monitoring, shift detection,
+   adaptation, snapshot pinning, plan-cache lookup or cold-path
+   analysis + Eq. 2 costing.  These touch the engine's shared mutable
+   state (monitor, window, candidate pool, plan cache, selectivity
+   estimator) and are short;
+2. *run* (lock **released**): the actual scan — compiled-kernel or
+   interpreted execution against the layout buffers pinned by the
+   query's :class:`~repro.storage.relation.LayoutSnapshot`.  NumPy
+   kernels release the GIL on large blocks, so scans from different
+   workers genuinely overlap; layout buffers are immutable, so no lock
+   is needed;
+3. *finish* (under ``engine.lock``): selectivity feedback, plan-cache
+   store, usage accounting, report append.
+
+Layout mutations (online reorganization, background publication,
+budget retirement) happen under the engine lock and publish atomically
+through the table's snapshot mechanism — a running scan keeps reading
+its pinned snapshot and can never observe a partially-materialized
+layout.  With ``adaptation_mode="background"`` the adaptation phase is
+exported to a scheduler thread (see
+:class:`repro.service.AdaptationScheduler`): queries merely *signal*
+due-ness, the scheduler runs the advisor and stitches new layouts from
+a pinned snapshot off the query path, then publishes them via a single
+epoch bump.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..config import EngineConfig
-from ..errors import ExecutionError
+from ..errors import ExecutionError, LayoutError
 from ..execution.executor import ExecStats, Executor
 from ..execution.result import QueryResult
 from ..execution.strategies import AccessPlan, enumerate_plans
@@ -52,7 +81,7 @@ from ..sql.analyzer import QueryInfo, analyze_query
 from ..sql.parser import parse_query
 from ..sql.query import Query
 from ..sql.signature import literal_extractor
-from ..storage.relation import Table
+from ..storage.relation import LayoutSnapshot, Table
 from .advisor import CandidateLayout, LayoutAdvisor
 from .cost_model import CostModel, SelectivityEstimator
 from .history import ShiftDetector
@@ -86,10 +115,33 @@ class QueryReport:
     shift_detected: bool = False
     window_size: int = 0
     cost_estimate: float = 0.0
+    #: Layout epoch of the snapshot this query executed against.
+    snapshot_epoch: int = 0
 
     @property
     def reorg_seconds(self) -> float:
         return self.phases.get("reorg", 0.0)
+
+
+@dataclass
+class _Prepared:
+    """The locked *prepare* stage's decision, carried to run/finish."""
+
+    index: int
+    snapshot: LayoutSnapshot
+    shift: bool
+    adaptation_ran: bool
+    window_size: int
+    #: Fast lane: the validated cache entry (mutually exclusive with
+    #: ``plan`` and ``result``).
+    entry: Optional[CachedPlan] = None
+    #: Cold path: analyzer facts + the chosen plan and its Eq. 2 cost.
+    info: Optional[QueryInfo] = None
+    plan: Optional[AccessPlan] = None
+    cost: float = 0.0
+    #: Already answered under the lock (online reorganization).
+    result: Optional[QueryResult] = None
+    stats: Optional[ExecStats] = None
 
 
 class H2OEngine:
@@ -107,6 +159,12 @@ class H2OEngine:
     ) -> None:
         self.table = table
         self.config = config or EngineConfig()
+        #: Guards every piece of shared mutable decision state: monitor,
+        #: window, shift detector, candidate pool, selectivity
+        #: estimator, plan-cache *policy* (the cache itself has its own
+        #: lock), layout manager bookkeeping, and the reports list.
+        #: Query *execution* never holds it (see the module docstring).
+        self.lock = threading.RLock()
         self.selectivity = SelectivityEstimator()
         self.cost_model = CostModel(self.config.machine, self.selectivity)
         self.monitor = Monitor(table.schema, self.config.window_size)
@@ -119,15 +177,27 @@ class H2OEngine:
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
         self.candidates: List[CandidateLayout] = []
         self.reports: List[QueryReport] = []
+        self._query_counter = 0
         self._shift_since_adaptation = False
         self._last_adaptation_snapshot: Optional[tuple] = None
         #: Distinct access sets as of the last adaptation phase.
         self._reference_patterns: List = []
+        #: Non-blocking callback invoked (outside the lock) when the
+        #: adaptation window elapses in background mode; the service's
+        #: scheduler attaches one to wake its thread.
+        self._adaptation_signal: Optional[Callable[["H2OEngine"], None]] = (
+            None
+        )
 
     # Public API ---------------------------------------------------------------
 
     def execute(self, query: Union[Query, str]) -> QueryReport:
-        """Answer one query, adapting storage and strategy on the way."""
+        """Answer one query, adapting storage and strategy on the way.
+
+        Thread-safe: any number of threads may call this concurrently.
+        Decision state is updated under the engine lock; the scan itself
+        runs lock-free against the query's pinned layout snapshot.
+        """
         started = time.perf_counter()
         phases: Dict[str, float] = {}
         if isinstance(query, str):
@@ -137,7 +207,42 @@ class H2OEngine:
                 f"engine serves table {self.table.name!r}, query targets "
                 f"{query.table!r}"
             )
-        index = len(self.reports)
+
+        with self.lock:
+            prep = self._prepare(query, phases)
+
+        if prep.result is None and self.config.adaptation_mode == (
+            "background"
+        ):
+            # Wake the scheduler outside the lock (the callback must be
+            # non-blocking; it typically just sets an Event).
+            signal = self._adaptation_signal
+            if signal is not None and self.window.due():
+                signal(self)
+
+        if prep.result is not None:
+            result, stats = prep.result, prep.stats
+        elif prep.entry is not None:
+            result, stats = self._execute_fast(prep.entry, query, phases)
+        else:
+            result, stats = self._run_plan(prep, phases)
+
+        seconds = time.perf_counter() - started
+        with self.lock:
+            report = self._finish(
+                query, prep, result, stats, phases, seconds
+            )
+        return report
+
+    def run_sequence(self, queries) -> List[QueryReport]:
+        """Execute a sequence of queries, returning all reports."""
+        return [self.execute(q) for q in queries]
+
+    # Stage 1: prepare (engine lock held) ----------------------------------------
+
+    def _prepare(self, query: Query, phases: Dict[str, float]) -> _Prepared:
+        index = self._query_counter
+        self._query_counter += 1
 
         # 1. Monitoring + shift detection.  Novelty is judged against the
         # patterns known as of the *previous adaptation* ("H2O detects
@@ -161,40 +266,80 @@ class H2OEngine:
             self.window.note_shift()
             self.monitor.resize(self.window.size)
 
-        # 2. Periodic adaptation: refresh the candidate pool.
+        # 2. Periodic adaptation: refresh the candidate pool.  Inline
+        # mode runs it here (cost charged to this query); background
+        # mode leaves it to the scheduler, which this query signals
+        # after releasing the lock.
         adaptation_ran = False
-        if self.window.due():
+        if self.window.due() and (
+            self.config.adaptation_mode == "inline"
+            or self._adaptation_signal is None
+        ):
             self._adapt(index, phases)
             adaptation_ran = True
+
+        # Pin the physical state this query will plan and scan against.
+        snapshot = self.table.snapshot()
+        prep = _Prepared(
+            index=index,
+            snapshot=snapshot,
+            shift=shift,
+            adaptation_ran=adaptation_ran,
+            window_size=self.window.size,
+        )
 
         # 3. The steady-state fast lane: a repeat query shape under
         # unchanged layouts skips analysis, planning, costing and
         # codegen-key construction entirely.
-        entry = None
         if self.config.plan_cache:
-            entry = self.plan_cache.lookup(
-                query.shape_signature(), self.table.layout_epoch
+            prep.entry = self.plan_cache.lookup(
+                query.shape_signature(), snapshot.epoch
             )
-        if entry is not None:
-            result, stats = self._execute_fast(entry, query, phases)
-            self._fast_feedback(entry, query, stats)
-        else:
-            # Cold path: full analysis, lazy materialization check,
-            # plan enumeration + Eq. 2 costing, then cache the decision.
-            info = analyze_query(query, self.table.schema)
-            candidate = self._triggered_candidate(info)
-            if candidate is not None:
-                result, stats = self._materialize_and_execute(
-                    info, candidate, index, phases
-                )
-            else:
-                result, stats = self._plan_and_execute(info, phases)
-            self._feedback(info, stats)
-            self._maybe_cache_plan(query, info, stats)
+            if prep.entry is not None:
+                return prep
 
-        seconds = time.perf_counter() - started
+        # Cold path: full analysis, lazy materialization check, plan
+        # enumeration + Eq. 2 costing.  Online reorganization mutates
+        # the layouts, so it runs entirely under the lock and publishes
+        # atomically; plain planning just records the decision and
+        # executes after the lock is released.
+        info = analyze_query(query, self.table.schema)
+        prep.info = info
+        candidate = self._triggered_candidate(info)
+        if candidate is not None:
+            prep.result, prep.stats = self._materialize_and_execute(
+                info, candidate, index, phases
+            )
+            return prep
+        prep.plan, prep.cost = self._choose_plan(snapshot, info, phases)
+        return prep
+
+    # Stage 3: finish (engine lock held) -----------------------------------------
+
+    def _finish(
+        self,
+        query: Query,
+        prep: _Prepared,
+        result: QueryResult,
+        stats: ExecStats,
+        phases: Dict[str, float],
+        seconds: float,
+    ) -> QueryReport:
+        if prep.entry is not None:
+            self.manager.record_use(prep.entry.plan.layouts)
+            self._fast_feedback(prep.entry, query, stats, prep.snapshot)
+        elif prep.result is None:
+            # Cold planned path (online reorg already did its own
+            # accounting inside ``_materialize_and_execute``).
+            stats.extras["cost_estimate"] = prep.cost
+            self.manager.record_use(prep.plan.layouts)
+            self._feedback(prep.info, stats, prep.snapshot)
+            self._maybe_cache_plan(query, prep, stats)
+        else:
+            self._feedback(prep.info, stats, prep.snapshot)
+
         report = QueryReport(
-            index=index,
+            index=prep.index,
             query=query,
             result=result,
             seconds=seconds,
@@ -203,23 +348,20 @@ class H2OEngine:
             strategy=stats.strategy.value,
             used_codegen=stats.used_codegen,
             codegen_cache_hit=stats.codegen_cache_hit,
-            plan_cache_hit=entry is not None,
+            plan_cache_hit=prep.entry is not None,
             layout_created=(
                 tuple(stats.layout_created.split(","))
                 if stats.layout_created
                 else None
             ),
-            adaptation_ran=adaptation_ran,
-            shift_detected=shift,
-            window_size=self.window.size,
+            adaptation_ran=prep.adaptation_ran,
+            shift_detected=prep.shift,
+            window_size=prep.window_size,
             cost_estimate=stats.extras.get("cost_estimate", 0.0),
+            snapshot_epoch=prep.snapshot.epoch,
         )
         self.reports.append(report)
         return report
-
-    def run_sequence(self, queries) -> List[QueryReport]:
-        """Execute a sequence of queries, returning all reports."""
-        return [self.execute(q) for q in queries]
 
     # Decision steps -------------------------------------------------------------
 
@@ -234,6 +376,8 @@ class H2OEngine:
         candidate pool does change, every cached plan is dropped — a
         fast-lane hit must never shortcut past a query that should now
         trigger online materialization.
+
+        Callers must hold ``self.lock``.
         """
         t0 = time.perf_counter()
         population = frozenset(
@@ -294,7 +438,9 @@ class H2OEngine:
         self._reference_patterns = [
             attrs for attrs, _ in self.monitor.distinct_access_sets()
         ]
-        phases["adapt"] = time.perf_counter() - t0
+        phases["adapt"] = phases.get("adapt", 0.0) + (
+            time.perf_counter() - t0
+        )
 
     def _served_fraction(self) -> float:
         """Fraction of windowed queries already served by a group.
@@ -331,8 +477,17 @@ class H2OEngine:
     def _triggered_candidate(
         self, info: QueryInfo
     ) -> Optional[CandidateLayout]:
-        """The best candidate this query both matches and amortizes."""
+        """The best candidate this query both matches and amortizes.
+
+        Only the inline adaptation mode fuses materialization with the
+        triggering query; in background mode the scheduler builds
+        candidates off the query path instead.
+        """
         if self.config.materialization != "lazy":
+            return None
+        if self.config.adaptation_mode != "inline" and (
+            self._adaptation_signal is not None
+        ):
             return None
         select_attrs = frozenset(info.select_attrs)
         where_attrs = frozenset(info.where_attrs)
@@ -357,15 +512,31 @@ class H2OEngine:
         index: int,
         phases: Dict[str, float],
     ) -> Tuple[QueryResult, ExecStats]:
-        """Online reorganization: build the layout while answering."""
+        """Online reorganization: build the layout while answering.
+
+        Runs under the engine lock (it mutates the layout set); the new
+        group is published atomically through the table's snapshot
+        mechanism, so concurrent readers keep their pinned state.
+        """
         outcome = self.reorganizer.online(self.table, candidate.attrs, info)
-        self.manager.register_group(
-            outcome.group, outcome.seconds, query_index=index, mode="online"
-        )
+        registered = True
+        try:
+            self.manager.register_group(
+                outcome.group,
+                outcome.seconds,
+                query_index=index,
+                mode="online",
+            )
+        except LayoutError:
+            # A concurrent append changed the row count while the group
+            # was being stitched; the query result (computed from the
+            # pinned pre-append state) is still correct — only the new
+            # layout is discarded and will be re-proposed later.
+            registered = False
         self.candidates = [
             c for c in self.candidates if c.attr_set != candidate.attr_set
         ]
-        if self.config.max_table_bytes:
+        if registered and self.config.max_table_bytes:
             # Enforce the storage budget by retiring cold groups (never
             # the one just built — it has a use already recorded).
             self.manager.record_use([outcome.group])
@@ -382,33 +553,50 @@ class H2OEngine:
             plan=f"online-reorg(group[{','.join(candidate.attrs)}])",
             rows_out=outcome.result.num_rows,
             reorg_seconds=outcome.seconds,
-            layout_created=",".join(candidate.attrs),
+            layout_created=",".join(candidate.attrs) if registered else None,
         )
         return outcome.result, stats
 
-    def _plan_and_execute(
-        self, info: QueryInfo, phases: Dict[str, float]
-    ) -> Tuple[QueryResult, ExecStats]:
-        """Cost-based choice among (layout cover × strategy) plans."""
+    def _choose_plan(
+        self,
+        snapshot: LayoutSnapshot,
+        info: QueryInfo,
+        phases: Dict[str, float],
+    ) -> Tuple[AccessPlan, float]:
+        """Cost-based choice among (layout cover × strategy) plans.
+
+        Planning runs against the pinned snapshot, so a concurrent
+        layout publication cannot change the candidate covers mid-
+        enumeration.
+        """
         t0 = time.perf_counter()
-        plans = enumerate_plans(self.table, info)
+        plans = enumerate_plans(snapshot, info)
         costed = [
             (self.cost_model.plan_cost(info, plan), i, plan)
             for i, plan in enumerate(plans)
         ]
         cost, _, plan = min(costed)
         phases["plan"] = time.perf_counter() - t0
+        return plan, cost
 
+    # Stage 2: run (lock released) ----------------------------------------------
+
+    def _run_plan(
+        self, prep: _Prepared, phases: Dict[str, float]
+    ) -> Tuple[QueryResult, ExecStats]:
+        """Execute the chosen cold-path plan (no engine lock held).
+
+        The plan's layouts belong to the pinned snapshot and are
+        immutable; codegen goes through the (internally locked)
+        operator cache.
+        """
         t1 = time.perf_counter()
-        result, stats = self.executor.run_plan(info, plan)
+        result, stats = self.executor.run_plan(prep.info, prep.plan)
         elapsed = time.perf_counter() - t1
         phases["codegen"] = phases.get("codegen", 0.0) + stats.codegen_seconds
         phases["execute"] = phases.get("execute", 0.0) + (
             elapsed - stats.codegen_seconds
         )
-        stats.extras["cost_estimate"] = cost
-        stats.extras["access_plan"] = plan
-        self.manager.record_use(plan.layouts)
         return result, stats
 
     # The steady-state fast lane ------------------------------------------------
@@ -422,7 +610,9 @@ class H2OEngine:
         fresh literals, bind the (epoch-validated) layout buffers, call
         the kernel.  Without one (interpreted configurations) the cached
         plan still skips analysis, enumeration and costing, and the
-        executor runs it generically.
+        executor runs it generically.  Runs without the engine lock —
+        everything it reads (the entry's plan, kernel, and layout
+        buffers) is immutable.
         """
         t0 = time.perf_counter()
         if entry.kernel is not None and entry.extract_params is not None:
@@ -460,24 +650,28 @@ class H2OEngine:
             result, stats = self.executor.run_plan(info, entry.plan)
             stats.extras.pop("operator", None)
         stats.extras["cost_estimate"] = entry.cost_estimate
-        self.manager.record_use(entry.plan.layouts)
         phases["execute"] = (
             phases.get("execute", 0.0) + time.perf_counter() - t0
         )
         return result, stats
 
     def _maybe_cache_plan(
-        self, query: Query, info: QueryInfo, stats: ExecStats
+        self, query: Query, prep: _Prepared, stats: ExecStats
     ) -> None:
         """Cache the cold path's decision for future repeats.
 
         Only plans chosen by cost-based planning are cached (online
         reorganization changes the layouts, so its epoch is stale by
         construction; attribute-free queries have nothing to reuse).
+        The entry is tagged with the epoch of the snapshot the plan was
+        *derived against* — if a background publication raced this
+        query, the entry is stale immediately and the next lookup drops
+        it, never serving a plan across an epoch boundary.
         """
+        info = prep.info
         if not self.config.plan_cache or not info.all_attrs:
             return
-        plan = stats.extras.pop("access_plan", None)
+        plan = stats.extras.pop("access_plan", prep.plan)
         if plan is None:
             return
         operator = stats.extras.pop("operator", None)
@@ -485,7 +679,7 @@ class H2OEngine:
         self.plan_cache.store(
             CachedPlan(
                 signature=query.shape_signature(),
-                epoch=self.table.layout_epoch,
+                epoch=prep.snapshot.epoch,
                 plan=plan,
                 plan_desc=stats.plan,
                 select_attrs=info.select_attrs,
@@ -510,7 +704,12 @@ class H2OEngine:
 
     # Selectivity feedback -------------------------------------------------------
 
-    def _feedback(self, info: QueryInfo, stats: ExecStats) -> None:
+    def _feedback(
+        self,
+        info: QueryInfo,
+        stats: ExecStats,
+        snapshot: LayoutSnapshot,
+    ) -> None:
         """Report observed selectivity back to the estimator.
 
         Aggregation queries are included through the qualifying-row
@@ -518,8 +717,10 @@ class H2OEngine:
         kernels report the shared ``cnt`` accumulator); paths that
         cannot tell (online reorganization) leave it ``None`` and only
         contribute when the result itself is the qualifying row set.
+        The denominator is the row count of the snapshot the query
+        actually scanned, not the table's possibly newer state.
         """
-        if not info.has_predicate or self.table.num_rows == 0:
+        if not info.has_predicate or snapshot.num_rows == 0:
             return
         qualifying = stats.qualifying_rows
         if qualifying is None:
@@ -527,10 +728,14 @@ class H2OEngine:
                 return
             qualifying = stats.rows_out
         key = CostModel._predicate_key(info)
-        self.selectivity.observe(key, qualifying / self.table.num_rows)
+        self.selectivity.observe(key, qualifying / snapshot.num_rows)
 
     def _fast_feedback(
-        self, entry: CachedPlan, query: Query, stats: ExecStats
+        self,
+        entry: CachedPlan,
+        query: Query,
+        stats: ExecStats,
+        snapshot: LayoutSnapshot,
     ) -> None:
         """Feedback + drift eviction for fast-lane hits.
 
@@ -543,12 +748,12 @@ class H2OEngine:
         if (
             not entry.has_predicate
             or stats.qualifying_rows is None
-            or self.table.num_rows == 0
+            or snapshot.num_rows == 0
         ):
             return
         self.selectivity.observe(
             entry.predicate_key,
-            stats.qualifying_rows / self.table.num_rows,
+            stats.qualifying_rows / snapshot.num_rows,
         )
         learned = self.selectivity.estimate(
             query.where, entry.predicate_key
@@ -558,35 +763,120 @@ class H2OEngine:
         ):
             self.plan_cache.invalidate(entry.signature, "drift")
 
+    # Background adaptation hooks ------------------------------------------------
+
+    def attach_adaptation_signal(
+        self, callback: Optional[Callable[["H2OEngine"], None]]
+    ) -> None:
+        """Register (or clear, with ``None``) the due-ness callback.
+
+        Used by :class:`repro.service.AdaptationScheduler`.  The
+        callback must be non-blocking (it typically sets an Event); it
+        is invoked from query threads *outside* the engine lock.
+        """
+        with self.lock:
+            self._adaptation_signal = callback
+
+    def adaptation_due(self) -> bool:
+        """Whether the adaptation window has elapsed (thread-safe)."""
+        with self.lock:
+            return self.window.due()
+
+    def run_adaptation_cycle(self) -> List[CandidateLayout]:
+        """One background adaptation phase: advisor + candidate refresh.
+
+        Runs :meth:`_adapt` under the engine lock (blocking other
+        queries' *decision* stages briefly — their scans continue) and
+        returns the candidates eligible for background materialization.
+        The caller (the scheduler) stitches them off-lock from a pinned
+        snapshot and publishes via :meth:`publish_group`.
+        """
+        with self.lock:
+            if self.window.due():
+                self._adapt(self._query_counter, {})
+            return self.background_candidates()
+
+    def background_candidates(self) -> List[CandidateLayout]:
+        """Candidates worth materializing off the query path.
+
+        Empty unless lazy materialization is enabled — the eager/off
+        modes never stitch new groups, inline or background.
+        """
+        if self.config.materialization != "lazy":
+            return []
+        with self.lock:
+            return [
+                c
+                for c in self.candidates
+                if c.expected_gain > 0
+                and c.frequency >= self.config.amortization_threshold
+                and self.table.find_group(c.attrs) is None
+            ]
+
+    def publish_group(self, group, seconds: float) -> bool:
+        """Atomically adopt a background-built column group.
+
+        Returns ``False`` (discarding the group) when a concurrent
+        append invalidated it — the stitch can be retried against a
+        fresh snapshot on the next cycle.  On success the epoch bump
+        implicitly invalidates every cached plan derived from the old
+        layout set.
+        """
+        with self.lock:
+            try:
+                self.manager.register_group(
+                    group, seconds, query_index=None, mode="background"
+                )
+            except LayoutError:
+                return False
+            self.candidates = [
+                c
+                for c in self.candidates
+                if c.attr_set != group.attr_set
+            ]
+            if self.config.max_table_bytes:
+                self.manager.record_use([group])
+                dropped = self.manager.retire_cold_groups(
+                    self.config.max_table_bytes
+                )
+                if dropped:
+                    self._last_adaptation_snapshot = None
+            return True
+
     # Reporting -----------------------------------------------------------------
 
     def cumulative_seconds(self) -> float:
-        return sum(report.seconds for report in self.reports)
+        with self.lock:
+            return sum(report.seconds for report in self.reports)
 
     def phase_totals(self) -> Dict[str, float]:
-        totals: Dict[str, float] = {}
-        for report in self.reports:
-            for phase, seconds in report.phases.items():
-                totals[phase] = totals.get(phase, 0.0) + seconds
-        return totals
+        with self.lock:
+            totals: Dict[str, float] = {}
+            for report in self.reports:
+                for phase, seconds in report.phases.items():
+                    totals[phase] = totals.get(phase, 0.0) + seconds
+            return totals
 
     def layout_creation_seconds(self) -> float:
-        return self.manager.creation_seconds()
+        with self.lock:
+            return self.manager.creation_seconds()
 
     def describe(self) -> str:
         """Multi-line status summary for logs and examples."""
-        lines = [
-            f"H2O engine over {self.table!r}",
-            f"  window size: {self.window.size} "
-            f"(shrinks={self.window.shrink_events}, "
-            f"grows={self.window.grow_events})",
-            f"  candidates pending: {len(self.candidates)}",
-            f"  layouts created: {len(self.manager.creation_log)} "
-            f"({self.layout_creation_seconds():.3f}s)",
-            "  operator cache: size={} hits={} misses={} evictions={}".format(
-                *self.executor.operator_cache.stats()
-            ),
-            f"  plan cache: {self.plan_cache.stats()}",
-        ]
-        lines.append(self.table.layout_summary())
-        return "\n".join(lines)
+        with self.lock:
+            lines = [
+                f"H2O engine over {self.table!r}",
+                f"  window size: {self.window.size} "
+                f"(shrinks={self.window.shrink_events}, "
+                f"grows={self.window.grow_events})",
+                f"  candidates pending: {len(self.candidates)}",
+                f"  layouts created: {len(self.manager.creation_log)} "
+                f"({self.manager.creation_seconds():.3f}s)",
+                "  operator cache: size={} hits={} misses={} "
+                "evictions={}".format(
+                    *self.executor.operator_cache.stats()
+                ),
+                f"  plan cache: {self.plan_cache.stats()}",
+            ]
+            lines.append(self.table.layout_summary())
+            return "\n".join(lines)

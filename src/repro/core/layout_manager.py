@@ -4,11 +4,20 @@ Owns a table's physical layouts: creates new column groups through the
 stitcher, keeps a creation log (who/when/how long — the layout-creation
 time that Fig. 8 reports separately), tracks per-layout usage, and can
 garbage-collect unused replicated groups under a memory budget.
+
+Thread-safety: the engine invokes the mutating paths under its own
+lock, but the creation log and usage counters are also read by report
+threads (``describe``, benchmarks) and written by the background
+adaptation scheduler's publish path — so the manager guards its own
+bookkeeping with an internal lock and hands out defensive copies.
+The table mutations themselves (``add_layout``/``drop_layout``) are
+atomic snapshot publications, independent of this lock.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import EngineConfig
@@ -28,7 +37,7 @@ class LayoutEvent:
     bytes_read: int
     bytes_written: int
     query_index: Optional[int] = None
-    mode: str = "offline"  # "offline" | "online"
+    mode: str = "offline"  # "offline" | "online" | "background"
 
 
 class LayoutManager:
@@ -39,8 +48,15 @@ class LayoutManager:
     ) -> None:
         self.table = table
         self.config = config or EngineConfig()
-        self.creation_log: List[LayoutEvent] = []
+        self._log_lock = threading.Lock()
+        self._creation_log: List[LayoutEvent] = []
         self._uses: Dict[int, int] = {}
+
+    @property
+    def creation_log(self) -> Tuple[LayoutEvent, ...]:
+        """A consistent defensive copy of the creation records."""
+        with self._log_lock:
+            return tuple(self._creation_log)
 
     @property
     def layout_epoch(self) -> int:
@@ -76,16 +92,17 @@ class LayoutManager:
                 sources, ordered, self.table.schema, full_width=full_width
             )
         self.table.add_layout(group)
-        self.creation_log.append(
-            LayoutEvent(
-                attrs=ordered,
-                seconds=timer.elapsed,
-                bytes_read=stats.bytes_read,
-                bytes_written=stats.bytes_written,
-                query_index=query_index,
-                mode="offline",
+        with self._log_lock:
+            self._creation_log.append(
+                LayoutEvent(
+                    attrs=ordered,
+                    seconds=timer.elapsed,
+                    bytes_read=stats.bytes_read,
+                    bytes_written=stats.bytes_written,
+                    query_index=query_index,
+                    mode="offline",
+                )
             )
-        )
         return group, timer.elapsed
 
     def register_group(
@@ -97,29 +114,33 @@ class LayoutManager:
     ) -> None:
         """Adopt a group built elsewhere (the online reorganizer)."""
         self.table.add_layout(group)
-        self.creation_log.append(
-            LayoutEvent(
-                attrs=group.attrs,
-                seconds=seconds,
-                bytes_read=0,
-                bytes_written=group.nbytes,
-                query_index=query_index,
-                mode=mode,
+        with self._log_lock:
+            self._creation_log.append(
+                LayoutEvent(
+                    attrs=group.attrs,
+                    seconds=seconds,
+                    bytes_read=0,
+                    bytes_written=group.nbytes,
+                    query_index=query_index,
+                    mode=mode,
+                )
             )
-        )
 
     # Usage tracking & retirement ---------------------------------------------------
 
     def record_use(self, layouts: Iterable[Layout]) -> None:
-        for layout in layouts:
-            self._uses[id(layout)] = self._uses.get(id(layout), 0) + 1
+        with self._log_lock:
+            for layout in layouts:
+                self._uses[id(layout)] = self._uses.get(id(layout), 0) + 1
 
     def uses_of(self, layout: Layout) -> int:
-        return self._uses.get(id(layout), 0)
+        with self._log_lock:
+            return self._uses.get(id(layout), 0)
 
     def creation_seconds(self) -> float:
         """Total time ever spent creating layouts (Fig. 8's dark bar)."""
-        return sum(event.seconds for event in self.creation_log)
+        with self._log_lock:
+            return sum(event.seconds for event in self._creation_log)
 
     def retire_cold_groups(self, max_bytes: int) -> List[Layout]:
         """Drop least-used *group* layouts until the table fits the
@@ -131,7 +152,9 @@ class LayoutManager:
             for layout in self.table.layouts
             if layout.kind is LayoutKind.GROUP
         ]
-        candidates.sort(key=lambda lay: (self._uses.get(id(lay), 0), -lay.nbytes))
+        with self._log_lock:
+            uses = dict(self._uses)
+        candidates.sort(key=lambda lay: (uses.get(id(lay), 0), -lay.nbytes))
         for layout in candidates:
             if self.table.nbytes <= max_bytes:
                 break

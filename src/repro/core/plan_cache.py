@@ -32,10 +32,17 @@ Invalidation is layered:
 
 The cache is a bounded LRU over signatures, so a drifting workload
 cannot grow it without bound.
+
+**Thread safety.**  The cache is shared by every worker of the
+concurrent query service, so all operations (including the LRU
+bookkeeping a lookup performs) run under an internal lock, and
+:meth:`stats` returns a defensive deep copy — callers can never observe
+or mutate live internal state.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -79,7 +86,7 @@ class CachedPlan:
 
 @dataclass
 class PlanCache:
-    """Signature-keyed LRU of :class:`CachedPlan` entries."""
+    """Signature-keyed LRU of :class:`CachedPlan` entries (thread-safe)."""
 
     capacity: int = 256
     _entries: "OrderedDict[QueryShapeSignature, CachedPlan]" = field(
@@ -91,6 +98,9 @@ class PlanCache:
     #: Entries dropped because they went stale (epoch mismatch,
     #: candidate refresh, selectivity drift), keyed by reason.
     invalidations: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def lookup(
         self, signature: QueryShapeSignature, epoch: int
@@ -102,59 +112,72 @@ class PlanCache:
         the cold path will re-plan against the current layouts and
         re-cache.
         """
-        entry = self._entries.get(signature)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epoch != epoch:
-            del self._entries[signature]
-            self._count_invalidation("epoch")
-            self.misses += 1
-            return None
-        self._entries.move_to_end(signature)
-        self.hits += 1
-        entry.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch:
+                del self._entries[signature]
+                self._count_invalidation("epoch")
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            entry.hits += 1
+            return entry
 
     def store(self, entry: CachedPlan) -> None:
-        self._entries[entry.signature] = entry
-        self._entries.move_to_end(entry.signature)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[entry.signature] = entry
+            self._entries.move_to_end(entry.signature)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(
         self, signature: QueryShapeSignature, reason: str
     ) -> bool:
         """Drop one entry (e.g. on selectivity drift)."""
-        if signature in self._entries:
-            del self._entries[signature]
-            self._count_invalidation(reason)
-            return True
-        return False
+        with self._lock:
+            if signature in self._entries:
+                del self._entries[signature]
+                self._count_invalidation(reason)
+                return True
+            return False
 
     def invalidate_all(self, reason: str) -> int:
         """Drop every entry (e.g. after a candidate-pool refresh)."""
-        dropped = len(self._entries)
-        if dropped:
-            self._entries.clear()
-            self._count_invalidation(reason, dropped)
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            if dropped:
+                self._entries.clear()
+                self._count_invalidation(reason, dropped)
+            return dropped
 
     def _count_invalidation(self, reason: str, count: int = 1) -> None:
+        # Caller holds ``_lock``.
         self.invalidations[reason] = (
             self.invalidations.get(reason, 0) + count
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> Dict[str, object]:
-        """Counters for ``engine.describe()`` and the bench reports."""
-        return {
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": dict(self.invalidations),
-        }
+        """Counters for ``engine.describe()`` and the bench reports.
+
+        Returns a consistent defensive copy taken under the lock: the
+        ``invalidations`` dict is a fresh copy, never the live internal
+        mapping, so callers cannot observe later mutations (or corrupt
+        the cache by editing the returned value).
+        """
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": dict(self.invalidations),
+            }

@@ -11,12 +11,20 @@ expressions are evaluated on it.  The relation is scanned once for both
 tasks ("the early materialization strategy allows H2O to generate the
 data layout and compute the query result without scanning the relation
 twice").
+
+Both passes accept either a live :class:`~repro.storage.relation.Table`
+or a pinned :class:`~repro.storage.relation.LayoutSnapshot` — they only
+read (schema, covering layouts, row count) and never mutate.  The
+background adaptation scheduler exploits this: it stitches from a
+snapshot *without holding any engine lock*, then publishes the finished
+group atomically; a stitch raced by an append simply yields a group
+whose row count no longer matches and is discarded at publication.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,9 +41,13 @@ from ..execution.result import QueryResult
 from ..execution.volcano import projection_dtype
 from ..sql.analyzer import QueryInfo
 from ..storage.column_group import ColumnGroup
-from ..storage.relation import Table
+from ..storage.relation import LayoutSnapshot, Table
 from ..storage.stitcher import stitch_group
 from ..util.timing import Timer
+
+#: Anything the reorganizer can read layouts from: a live table or an
+#: immutable snapshot pinned by the caller.
+LayoutSource = Union[Table, LayoutSnapshot]
 
 
 @dataclass
@@ -56,8 +68,14 @@ class Reorganizer:
 
     # Offline --------------------------------------------------------------------
 
-    def offline(self, table: Table, attrs: Iterable[str]) -> ReorgOutcome:
-        """Stitch the group in a dedicated pass (no query involved)."""
+    def offline(
+        self, table: LayoutSource, attrs: Iterable[str]
+    ) -> ReorgOutcome:
+        """Stitch the group in a dedicated pass (no query involved).
+
+        Read-only over ``table`` — pass a pinned snapshot to stitch
+        off-lock while queries keep running.
+        """
         ordered = table.schema.ordered(attrs)
         sources = table.covering_layouts(ordered)
         full_width = len(ordered) == table.schema.width
@@ -72,7 +90,7 @@ class Reorganizer:
     # Online ---------------------------------------------------------------------
 
     def online(
-        self, table: Table, attrs: Iterable[str], info: QueryInfo
+        self, table: LayoutSource, attrs: Iterable[str], info: QueryInfo
     ) -> ReorgOutcome:
         """One pass: build the group *and* answer ``info`` from it.
 
@@ -90,7 +108,7 @@ class Reorganizer:
         )
 
     def _online_pass(
-        self, table: Table, ordered: Tuple[str, ...], info: QueryInfo
+        self, table: LayoutSource, ordered: Tuple[str, ...], info: QueryInfo
     ) -> Tuple[ColumnGroup, QueryResult]:
         schema = table.schema
         num_rows = table.num_rows

@@ -6,11 +6,19 @@ one relation; a database holds many.  :class:`H2OSystem` wraps a
 independent H2O engine per table — each with its own monitor, window,
 candidate pool and operator cache, since adaptation state is strictly
 per-relation.  Queries are routed by their FROM table.
+
+The facade is thread-safe: engine creation and catalog changes are
+serialized by an internal lock (double-checked so the steady-state
+lookup is a single dict read), and each engine is itself safe for
+concurrent :meth:`H2OEngine.execute` calls — the
+:class:`repro.service.H2OService` worker pool routes straight through
+here.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+import threading
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..config import EngineConfig
 from ..errors import CatalogError
@@ -32,28 +40,41 @@ class H2OSystem:
         self.catalog = catalog or Catalog()
         self.config = config or EngineConfig()
         self._engines: Dict[str, H2OEngine] = {}
+        #: Serializes engine creation and catalog mutation; never held
+        #: during query execution.
+        self._lock = threading.Lock()
 
     # Catalog management -----------------------------------------------------
 
     def register(self, table: Table, replace: bool = False) -> None:
         """Add a table; its engine is created on first query."""
-        self.catalog.register(table, replace=replace)
-        if replace:
-            self._engines.pop(table.name, None)
+        with self._lock:
+            self.catalog.register(table, replace=replace)
+            if replace:
+                self._engines.pop(table.name, None)
 
     def drop(self, name: str) -> None:
         """Remove a table and its adaptation state."""
-        self.catalog.drop(name)
-        self._engines.pop(name, None)
+        with self._lock:
+            self.catalog.drop(name)
+            self._engines.pop(name, None)
 
     def engine_for(self, name: str) -> H2OEngine:
         """The (lazily created) engine serving table ``name``."""
         engine = self._engines.get(name)
         if engine is None:
-            table = self.catalog.get(name)
-            engine = H2OEngine(table, self.config)
-            self._engines[name] = engine
+            with self._lock:
+                engine = self._engines.get(name)
+                if engine is None:
+                    table = self.catalog.get(name)
+                    engine = H2OEngine(table, self.config)
+                    self._engines[name] = engine
         return engine
+
+    def engines(self) -> Tuple[H2OEngine, ...]:
+        """All engines created so far (a consistent copy)."""
+        with self._lock:
+            return tuple(self._engines.values())
 
     # Querying ------------------------------------------------------------------
 
@@ -76,17 +97,19 @@ class H2OSystem:
 
     def cumulative_seconds(self) -> float:
         return sum(
-            engine.cumulative_seconds() for engine in self._engines.values()
+            engine.cumulative_seconds() for engine in self.engines()
         )
 
     def describe(self) -> str:
         """Status of every active engine."""
-        if not self._engines:
+        with self._lock:
+            engines = dict(self._engines)
+        if not engines:
             return (
                 f"H2O system: {len(self.catalog)} table(s) registered, "
                 "no queries yet"
             )
         parts = []
-        for name in sorted(self._engines):
-            parts.append(self._engines[name].describe())
+        for name in sorted(engines):
+            parts.append(engines[name].describe())
         return "\n\n".join(parts)

@@ -93,3 +93,29 @@ class WorkloadError(H2OError):
 
 class BenchmarkError(H2OError):
     """Raised by the benchmark harness, e.g. for an unknown experiment id."""
+
+
+class ServiceError(H2OError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised at admission time when the service's bounded queue is full.
+
+    This is graceful back-pressure, not a failure of the store: the
+    caller should retry later (or shed load).  The admission controller
+    counts the rejection; nothing was executed.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """Raised when a submitted query does not finish within its timeout.
+
+    If the query had not started executing, it is cancelled and never
+    runs; if it was already running, it completes in the background but
+    its result is discarded.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when submitting to a service that has been shut down."""

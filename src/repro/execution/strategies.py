@@ -13,10 +13,14 @@ import enum
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from typing import TYPE_CHECKING, Union
+
 from ..errors import ExecutionError
 from ..sql.analyzer import QueryInfo
 from ..storage.layout import Layout
-from ..storage.relation import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.relation import LayoutSnapshot, Table
 
 
 class ExecutionStrategy(enum.Enum):
@@ -79,8 +83,15 @@ class AccessPlan:
         return tuple(layout.attrs for layout in self.layouts)
 
 
-def enumerate_plans(table: Table, info: QueryInfo) -> List[AccessPlan]:
+def enumerate_plans(
+    table: "Union[Table, LayoutSnapshot]", info: QueryInfo
+) -> List[AccessPlan]:
     """All distinct candidate plans for ``info`` over ``table``.
+
+    ``table`` may be a live :class:`~repro.storage.relation.Table` or a
+    pinned :class:`~repro.storage.relation.LayoutSnapshot` — the engine
+    plans against snapshots so a concurrent reorganization cannot
+    change the covers mid-enumeration.
 
     Candidates come from two covering choices — one greedy cover of all
     accessed attributes, and (when a predicate exists) the union of

@@ -1,0 +1,37 @@
+"""The concurrent query service: multi-client sessions over one store.
+
+This package lifts the single-threaded :class:`~repro.core.system.H2OSystem`
+into a multi-client service:
+
+- :class:`~repro.service.service.H2OService` — worker pool + submission
+  API (futures, timeouts, graceful shutdown);
+- :class:`~repro.service.admission.AdmissionController` — bounded
+  in-flight capacity with O(1) back-pressure rejection;
+- :class:`~repro.service.session.Session` — per-client handles with
+  their own accounting and default timeout;
+- :class:`~repro.service.scheduler.AdaptationScheduler` — background
+  adaptation off the query path (``adaptation_mode="background"``);
+- :class:`~repro.service.stats.ServiceStats` — thread-safe counters and
+  latency percentiles.
+
+Correctness rests on snapshot-isolated layout reads
+(:class:`~repro.storage.relation.LayoutSnapshot`): queries plan and scan
+against an immutable snapshot while reorganization publishes new layouts
+via a single atomic epoch bump.
+"""
+
+from .admission import AdmissionController
+from .scheduler import AdaptationScheduler
+from .service import H2OService, QueryFuture
+from .session import Session
+from .stats import ServiceStats, percentile
+
+__all__ = [
+    "AdmissionController",
+    "AdaptationScheduler",
+    "H2OService",
+    "QueryFuture",
+    "Session",
+    "ServiceStats",
+    "percentile",
+]

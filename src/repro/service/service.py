@@ -1,0 +1,452 @@
+"""The concurrent query service fronting the adaptive store.
+
+:class:`H2OService` turns the single-caller :class:`~repro.core.system.
+H2OSystem` into a multi-client service:
+
+- **worker pool** — ``num_workers`` threads drain a shared queue and
+  execute queries through the (thread-safe) engines.  NumPy kernels
+  release the GIL on large blocks, so scans from different workers
+  genuinely overlap on multi-core hosts;
+- **admission control** — at most ``max_pending`` queries may be in the
+  system (queued + executing); the excess is rejected *at submission*
+  with :class:`~repro.errors.ServiceOverloadedError` instead of piling
+  up without bound;
+- **per-query timeouts** — a query that has not finished within its
+  timeout raises :class:`~repro.errors.QueryTimeoutError` to the
+  waiter; if it had not started it is cancelled and never runs;
+- **snapshot-isolated reads** — every query executes against the layout
+  snapshot pinned at its admission into the engine (see
+  :class:`~repro.storage.relation.LayoutSnapshot`), so a background
+  reorganization can never mutate a layout mid-scan;
+- **background adaptation** — with ``adaptation_mode="background"`` in
+  the engine config, an :class:`~repro.service.scheduler.
+  AdaptationScheduler` thread runs the advisor and stitches new layouts
+  off the query path, publishing them atomically via epoch bumps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..config import EngineConfig
+from ..core.engine import QueryReport
+from ..core.system import H2OSystem
+from ..errors import (
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from ..sql.parser import parse_query
+from ..sql.query import Query
+from ..storage.relation import Table
+from .admission import AdmissionController
+from .scheduler import AdaptationScheduler
+from .session import Session
+from .stats import ServiceStats
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+class _QueryTicket:
+    """One submitted query's lifecycle, shared by waiter and worker."""
+
+    __slots__ = (
+        "query",
+        "session",
+        "deadline",
+        "submitted_at",
+        "lock",
+        "event",
+        "state",
+        "report",
+        "exception",
+        "abandoned",
+    )
+
+    def __init__(
+        self,
+        query: Query,
+        session: Optional[Session],
+        deadline: Optional[float],
+    ) -> None:
+        self.query = query
+        self.session = session
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.lock = threading.Lock()
+        self.event = threading.Event()
+        self.state = _PENDING
+        self.report: Optional[QueryReport] = None
+        self.exception: Optional[BaseException] = None
+        #: The waiter gave up (timeout) while the query was running;
+        #: the worker finishes it but discards the outcome silently.
+        self.abandoned = False
+
+    # Worker side ---------------------------------------------------------
+
+    def mark_running(self) -> bool:
+        """PENDING → RUNNING; False if cancelled meanwhile."""
+        with self.lock:
+            if self.state != _PENDING:
+                return False
+            self.state = _RUNNING
+            return True
+
+    def complete(self, report: QueryReport) -> None:
+        with self.lock:
+            self.state = _DONE
+            self.report = report
+        self.event.set()
+
+    def fail(self, exc: BaseException) -> None:
+        with self.lock:
+            self.state = _FAILED
+            self.exception = exc
+        self.event.set()
+
+    # Waiter side ---------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """PENDING → CANCELLED; False once running or finished."""
+        with self.lock:
+            if self.state != _PENDING:
+                return False
+            self.state = _CANCELLED
+        self.event.set()
+        return True
+
+    def abandon(self) -> None:
+        with self.lock:
+            self.abandoned = True
+
+
+class QueryFuture:
+    """Handle to an admitted query; resolves to a :class:`QueryReport`."""
+
+    def __init__(self, ticket: _QueryTicket, service: "H2OService") -> None:
+        self._ticket = ticket
+        self._service = service
+
+    def done(self) -> bool:
+        return self._ticket.event.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel if not started; releases the admission slot."""
+        if self._ticket.cancel():
+            self._service._on_cancelled(self._ticket)
+            return True
+        return False
+
+    def result(self, timeout: Optional[float] = None) -> QueryReport:
+        """The query's report, waiting up to ``timeout`` seconds.
+
+        Raises :class:`QueryTimeoutError` when neither the explicit
+        ``timeout`` nor the ticket's own deadline is met; re-raises the
+        worker-side exception if execution failed.
+        """
+        ticket = self._ticket
+        wait = timeout
+        if ticket.deadline is not None:
+            remaining = ticket.deadline - time.monotonic()
+            wait = (
+                remaining if wait is None else min(wait, remaining)
+            )
+        if wait is not None:
+            wait = max(0.0, wait)
+        finished = ticket.event.wait(wait)
+        if not finished:
+            # Best effort: cancel if still queued; a running query
+            # completes in the background with its result discarded.
+            if ticket.cancel():
+                self._service._on_cancelled(ticket)
+            else:
+                ticket.abandon()
+            self._service._on_timeout(ticket)
+            raise QueryTimeoutError(
+                f"query did not finish within "
+                f"{wait if timeout is None else timeout:.3f}s: "
+                f"{ticket.query.to_sql()}"
+            )
+        with ticket.lock:
+            state = ticket.state
+            report = ticket.report
+            exception = ticket.exception
+        if state == _DONE:
+            return report
+        if state == _CANCELLED:
+            raise QueryTimeoutError(
+                f"query was cancelled before execution: "
+                f"{ticket.query.to_sql()}"
+            )
+        raise exception
+
+
+class H2OService:
+    """Multi-client concurrent query service over the adaptive store."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        system: Optional[H2OSystem] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        num_workers: int = 4,
+        max_pending: int = 64,
+        default_timeout: Optional[float] = None,
+        name: str = "h2o-service",
+    ) -> None:
+        if system is not None and config is not None:
+            raise ValueError(
+                "pass either an existing system or a config, not both"
+            )
+        self.system = system or H2OSystem(config=config)
+        if num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {num_workers}"
+            )
+        self.name = name
+        self.default_timeout = default_timeout
+        self.admission = AdmissionController(max_pending)
+        self.stats = ServiceStats()
+        self._queue: "queue.SimpleQueue[Optional[_QueryTicket]]" = (
+            queue.SimpleQueue()
+        )
+        self._closed = threading.Event()
+        self._session_lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._workers: List[threading.Thread] = []
+        for i in range(num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{name}-worker-{i}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        self.scheduler: Optional[AdaptationScheduler] = None
+        if self.system.config.adaptation_mode == "background":
+            self.scheduler = AdaptationScheduler(self.system)
+            self.scheduler.start()
+
+    # Catalog -------------------------------------------------------------
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register a table with the underlying system.
+
+        Under background adaptation the engine is created eagerly and
+        the scheduler's due-ness signal attached *before* the first
+        query arrives, so no early query pays the inline adaptation
+        cost during the scheduler's startup window.
+        """
+        self.system.register(table, replace=replace)
+        if self.scheduler is not None:
+            self.scheduler.attach(self.system.engine_for(table.name))
+
+    # Sessions ------------------------------------------------------------
+
+    def session(
+        self,
+        client: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Session:
+        """Open a client session (timeout defaults to the service's)."""
+        session_id = client or f"session-{next(self._ids)}"
+        session = Session(
+            self,
+            session_id,
+            default_timeout=(
+                timeout if timeout is not None else self.default_timeout
+            ),
+        )
+        with self._session_lock:
+            self._sessions[session_id] = session
+        return session
+
+    def sessions(self) -> Dict[str, Session]:
+        """A defensive copy of the open sessions by id."""
+        with self._session_lock:
+            return dict(self._sessions)
+
+    # Submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[Query, str],
+        session: Optional[Session] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryFuture:
+        """Admit a query into the bounded queue; returns a future.
+
+        Raises :class:`ServiceOverloadedError` when the queue bound is
+        exceeded and :class:`ServiceClosedError` after :meth:`close`.
+        Parsing happens in the caller's thread so syntax errors raise
+        synchronously.
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError(f"service {self.name!r} is closed")
+        if isinstance(query, str):
+            query = parse_query(query)
+        if timeout is None:
+            timeout = self.default_timeout
+        self.stats.note_submitted()
+        if session is not None:
+            session._note("submitted")
+        if not self.admission.try_acquire():
+            self.stats.note_rejected()
+            if session is not None:
+                session._note("rejected")
+            raise ServiceOverloadedError(
+                f"service {self.name!r} is at capacity "
+                f"({self.admission.capacity} queries in flight); "
+                "retry later"
+            )
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        ticket = _QueryTicket(query, session, deadline)
+        self._queue.put(ticket)
+        return QueryFuture(ticket, self)
+
+    def execute(
+        self,
+        query: Union[Query, str],
+        session: Optional[Session] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryReport:
+        """Submit and block for the report (the synchronous API)."""
+        return self.submit(query, session=session, timeout=timeout).result(
+            timeout
+        )
+
+    def run_concurrent(
+        self,
+        queries: Sequence[Union[Query, str]],
+        session: Optional[Session] = None,
+        timeout: Optional[float] = None,
+    ) -> List[QueryReport]:
+        """Submit a batch and wait for all reports, preserving order."""
+        futures = [
+            self.submit(q, session=session, timeout=timeout)
+            for q in queries
+        ]
+        return [future.result(timeout) for future in futures]
+
+    # Worker loop ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is None:  # shutdown sentinel
+                return
+            try:
+                self._run_ticket(ticket)
+            finally:
+                self.admission.release()
+
+    def _run_ticket(self, ticket: _QueryTicket) -> None:
+        if self._closed.is_set():
+            ticket.fail(
+                ServiceClosedError(f"service {self.name!r} is closed")
+            )
+            self.stats.note_failed()
+            return
+        if (
+            ticket.deadline is not None
+            and time.monotonic() > ticket.deadline
+        ):
+            # Expired while queued: never start it.
+            if ticket.cancel():
+                self.stats.note_cancelled()
+            return
+        if not ticket.mark_running():
+            return  # cancelled by the waiter
+        self.stats.note_started()
+        started = time.monotonic()
+        try:
+            report = self.system.execute(ticket.query)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            ticket.fail(exc)
+            self.stats.note_failed()
+            if ticket.session is not None:
+                ticket.session._note("failed")
+            return
+        ticket.complete(report)
+        if not ticket.abandoned:
+            self.stats.note_completed(time.monotonic() - started)
+            if ticket.session is not None:
+                ticket.session._note("completed")
+        else:
+            # The waiter already gave up; the slot is released but the
+            # latency sample would skew percentiles, so only count the
+            # completion against the in-flight gauge.
+            self.stats.note_failed()
+
+    # Internal accounting (called by futures) ------------------------------
+
+    def _on_timeout(self, ticket: _QueryTicket) -> None:
+        self.stats.note_timeout()
+        if ticket.session is not None:
+            ticket.session._note("timeouts")
+
+    def _on_cancelled(self, ticket: _QueryTicket) -> None:
+        self.stats.note_cancelled()
+
+    # Lifecycle ------------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain workers, stop the scheduler."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout)
+        if self.scheduler is not None:
+            self.scheduler.stop()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __enter__(self) -> "H2OService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # Reporting ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line status: service counters + per-engine summaries."""
+        snap = self.stats.snapshot()
+        lines = [
+            f"H2O service {self.name!r}: {len(self._workers)} workers, "
+            f"admission {self.admission.stats()}",
+            "  queries: submitted={submitted} completed={completed} "
+            "rejected={rejected} timeouts={timeouts} failed={failed}".format(
+                **{k: int(snap[k]) for k in (
+                    "submitted",
+                    "completed",
+                    "rejected",
+                    "timeouts",
+                    "failed",
+                )}
+            ),
+            f"  latency: p50={snap['p50_ms']:.2f}ms "
+            f"p99={snap['p99_ms']:.2f}ms "
+            f"(peak concurrency {int(snap['peak_concurrency'])})",
+        ]
+        if self.scheduler is not None:
+            lines.append(f"  adaptation: {self.scheduler.stats()}")
+        lines.append(self.system.describe())
+        return "\n".join(lines)

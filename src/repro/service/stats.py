@@ -1,0 +1,108 @@
+"""Thread-safe service telemetry: counters and latency percentiles.
+
+The service records one latency sample per completed query into a
+bounded reservoir (most recent ``capacity`` samples) and a handful of
+monotonic counters.  :meth:`ServiceStats.snapshot` returns a fully
+defensive copy — a plain dict of numbers computed under the lock — so
+dashboards and tests can never observe or corrupt live internal state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank).
+
+    Returns 0.0 for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if fraction <= 0.0:
+        return ordered[0]
+    if fraction >= 1.0:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class ServiceStats:
+    """Counters + bounded latency reservoir for one service instance."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=capacity)
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.failed = 0
+        self.cancelled = 0
+        #: Peak number of queries executing simultaneously (a direct
+        #: measure of scan overlap across workers).
+        self.peak_concurrency = 0
+        self._running = 0
+
+    # Recording -----------------------------------------------------------
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_started(self) -> None:
+        with self._lock:
+            self._running += 1
+            if self._running > self.peak_concurrency:
+                self.peak_concurrency = self._running
+
+    def note_completed(self, seconds: float) -> None:
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self.completed += 1
+            self._latencies.append(seconds)
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self.failed += 1
+
+    def note_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def note_cancelled(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    # Reporting -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent defensive copy of all counters and percentiles."""
+        with self._lock:
+            samples = list(self._latencies)
+            snap: Dict[str, float] = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "in_flight": self._running,
+                "peak_concurrency": self.peak_concurrency,
+            }
+        snap["latency_samples"] = len(samples)
+        snap["p50_ms"] = percentile(samples, 0.50) * 1e3
+        snap["p99_ms"] = percentile(samples, 0.99) * 1e3
+        snap["max_ms"] = (max(samples) if samples else 0.0) * 1e3
+        snap["mean_ms"] = (
+            sum(samples) / len(samples) if samples else 0.0
+        ) * 1e3
+        return snap

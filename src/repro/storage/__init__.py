@@ -25,7 +25,7 @@ from .partition import (
     column_partitioning,
     row_partitioning,
 )
-from .relation import Table
+from .relation import LayoutSnapshot, Table
 from .catalog import Catalog
 from .generator import generate_table, uniform_columns, wide_schema
 from .stitcher import stitch_group, stitch_single_columns
@@ -42,6 +42,7 @@ __all__ = [
     "row_partitioning",
     "column_partitioning",
     "Table",
+    "LayoutSnapshot",
     "Catalog",
     "generate_table",
     "uniform_columns",

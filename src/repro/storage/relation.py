@@ -11,10 +11,24 @@ All layouts of one table are row-aligned: tuple ``i`` means the same
 logical tuple in every layout.  The stitcher preserves order, so the
 invariant holds by construction; :meth:`Table.add_layout` enforces the
 row-count part of it.
+
+**Concurrency model.**  Individual layouts are immutable once built
+(appends create *new* layout objects via ``Layout.extended``), so the
+whole physical state of a table at one instant is described by an
+immutable :class:`LayoutSnapshot`: the tuple of layouts, the row count,
+and the layout epoch.  The table holds exactly one reference to the
+current snapshot; every mutation builds a complete replacement snapshot
+under the writer lock and publishes it with a single attribute
+assignment (atomic under the GIL).  Readers call :meth:`Table.snapshot`
+to pin the state once and then plan/scan against it without further
+synchronization — a concurrent reorganization can only ever publish a
+*new* snapshot, never mutate a pinned one.  This is the snapshot
+isolation the concurrent query service builds on.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,164 +41,57 @@ from .row_layout import build_row_layout
 from .schema import Schema
 
 
-class Table:
-    """One relation: schema, row count, and its physical layouts."""
+class LayoutSnapshot:
+    """An immutable view of one table's physical state at one epoch.
+
+    A snapshot pins everything a reader needs to plan and execute a
+    query — the layout tuple, the row count, the schema — and exposes
+    the same cover-selection API as :class:`Table`, so planners work
+    interchangeably against a live table (which delegates to its current
+    snapshot) or a pinned snapshot.  Snapshots are never mutated after
+    construction; the attribute index is built lazily, which is a benign
+    race (two threads may build the same index, the last assignment
+    wins, both results are identical).
+    """
+
+    __slots__ = (
+        "table_name",
+        "schema",
+        "epoch",
+        "num_rows",
+        "layouts",
+        "_attr_index",
+    )
 
     def __init__(
         self,
-        name: str,
+        table_name: str,
         schema: Schema,
+        epoch: int,
+        num_rows: int,
         layouts: Iterable[Layout],
-        num_rows: Optional[int] = None,
     ) -> None:
-        self.name = name
+        self.table_name = table_name
         self.schema = schema
-        self._layouts: List[Layout] = list(layouts)
-        self._attr_index = None
-        #: Monotonic counter bumped whenever the physical state changes
-        #: (layout added/dropped, rows appended).  Anything caching a
-        #: decision derived from the layouts — the engine's plan cache
-        #: above all — tags its entries with the epoch and treats a
-        #: mismatch as invalidation.
-        self.layout_epoch: int = 0
-        if not self._layouts:
-            raise StorageError(f"table {name!r} needs at least one layout")
-        rows = {layout.num_rows for layout in self._layouts}
-        if len(rows) != 1:
-            raise LayoutError(
-                f"table {name!r}: layouts disagree on row count: {rows}"
-            )
-        (self.num_rows,) = rows
-        if num_rows is not None and num_rows != self.num_rows:
-            raise LayoutError(
-                f"table {name!r}: expected {num_rows} rows, layouts have "
-                f"{self.num_rows}"
-            )
-        self._check_coverage()
+        self.epoch = epoch
+        self.num_rows = num_rows
+        self.layouts: Tuple[Layout, ...] = tuple(layouts)
+        self._attr_index: Optional[Dict[str, List[Layout]]] = None
 
-    # Construction --------------------------------------------------------
+    # Attribute index -----------------------------------------------------
 
-    @classmethod
-    def from_columns(
-        cls,
-        name: str,
-        schema: Schema,
-        columns: Mapping[str, np.ndarray],
-        initial_layout: str = "column",
-    ) -> "Table":
-        """Create a table from per-attribute arrays.
-
-        ``initial_layout`` selects how the data is physically stored at
-        the start: ``"column"`` (one SingleColumn per attribute, the
-        paper's preferred starting point since it is "easier to morph to
-        other layouts") or ``"row"`` (one full-width group).
-        """
-        if initial_layout == "column":
-            layouts: List[Layout] = [
-                SingleColumn(attr, np.asarray(columns[attr]))
-                for attr in schema.names
-            ]
-        elif initial_layout == "row":
-            layouts = [build_row_layout(schema, columns)]
-        else:
-            raise StorageError(
-                f"unknown initial layout {initial_layout!r}; "
-                "expected 'column' or 'row'"
-            )
-        return cls(name, schema, layouts)
-
-    # Layout management -----------------------------------------------------
-
-    @property
-    def layouts(self) -> Tuple[Layout, ...]:
-        return tuple(self._layouts)
-
-    def _invalidate_index(self) -> None:
-        self._attr_index: "Dict[str, List[Layout]] | None" = None
-
-    def _index(self) -> "Dict[str, List[Layout]]":
-        """attr → layouts storing it, narrowest first (lazily rebuilt)."""
-        index = getattr(self, "_attr_index", None)
+    def _index(self) -> Dict[str, List[Layout]]:
+        """attr → layouts storing it, narrowest first (lazily built)."""
+        index = self._attr_index
         if index is None:
             index = {name: [] for name in self.schema.names}
-            for layout in sorted(self._layouts, key=lambda l: l.width):
+            for layout in sorted(self.layouts, key=lambda l: l.width):
                 for attr in layout.attrs:
                     index[attr].append(layout)
             self._attr_index = index
         return index
 
-    def add_layout(self, layout: Layout) -> None:
-        """Register a new row-aligned layout."""
-        if layout.num_rows != self.num_rows:
-            raise LayoutError(
-                f"layout has {layout.num_rows} rows, table "
-                f"{self.name!r} has {self.num_rows}"
-            )
-        unknown = [a for a in layout.attrs if a not in self.schema]
-        if unknown:
-            raise LayoutError(
-                f"layout stores attributes not in schema: {unknown}"
-            )
-        self._layouts.append(layout)
-        self.layout_epoch += 1
-        self._invalidate_index()
-
-    def drop_layout(self, layout: Layout) -> None:
-        """Remove a layout; refuses to break attribute coverage."""
-        if layout not in self._layouts:
-            raise LayoutError("layout is not part of this table")
-        remaining = [lay for lay in self._layouts if lay is not layout]
-        covered: set = set()
-        for lay in remaining:
-            covered |= lay.attr_set
-        missing = set(self.schema.names) - covered
-        if missing:
-            raise LayoutError(
-                f"dropping {layout.describe()} would leave attributes "
-                f"unstored: {sorted(missing)}"
-            )
-        self._layouts = remaining
-        self.layout_epoch += 1
-        self._invalidate_index()
-
-    def _check_coverage(self) -> None:
-        covered: set = set()
-        for layout in self._layouts:
-            covered |= layout.attr_set
-        missing = set(self.schema.names) - covered
-        if missing:
-            raise LayoutError(
-                f"table {self.name!r}: attributes not stored in any "
-                f"layout: {sorted(missing)}"
-            )
-
-    def append_rows(self, columns: Mapping[str, np.ndarray]) -> None:
-        """Append new tuples, extending *every* layout consistently.
-
-        All layouts grow by the same rows in the same order, preserving
-        the row-alignment invariant (replicated attributes receive the
-        same values everywhere).  The paper's layouts are densely packed
-        with no update slack, so each layout reallocates.
-        """
-        missing = [n for n in self.schema.names if n not in columns]
-        if missing:
-            raise LayoutError(f"append is missing attributes: {missing}")
-        lengths = {len(columns[n]) for n in self.schema.names}
-        if len(lengths) != 1:
-            raise LayoutError(
-                f"appended columns differ in length: {lengths}"
-            )
-        (extra,) = lengths
-        if extra == 0:
-            return
-        self._layouts = [
-            layout.extended(columns) for layout in self._layouts
-        ]
-        self.num_rows += extra
-        self.layout_epoch += 1
-        self._invalidate_index()
-
-    # Access ----------------------------------------------------------------
+    # Access --------------------------------------------------------------
 
     def layouts_containing(self, attr: str) -> Tuple[Layout, ...]:
         """All layouts storing ``attr``, narrowest first."""
@@ -264,21 +171,266 @@ class Table:
     def columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
         return {name: self.column(name) for name in names}
 
+    def find_group(self, attrs: Iterable[str]) -> Optional[ColumnGroup]:
+        """An existing group storing exactly ``attrs``, if any."""
+        wanted = frozenset(attrs)
+        for layout in self.layouts:
+            if isinstance(layout, ColumnGroup) and layout.attr_set == wanted:
+                return layout
+        return None
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all layouts (replication counts twice)."""
+        return sum(layout.nbytes for layout in self.layouts)
+
+    def __repr__(self) -> str:
+        return (
+            f"LayoutSnapshot({self.table_name!r}, epoch={self.epoch}, "
+            f"rows={self.num_rows}, layouts={len(self.layouts)})"
+        )
+
+
+class Table:
+    """One relation: schema, row count, and its physical layouts.
+
+    All *reads* delegate to the current :class:`LayoutSnapshot` (pin it
+    explicitly with :meth:`snapshot` for multi-step consistency); all
+    *mutations* are serialized by an internal writer lock and publish a
+    complete new snapshot atomically, bumping the layout epoch exactly
+    once per logical change.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        layouts: Iterable[Layout],
+        num_rows: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        layouts = list(layouts)
+        if not layouts:
+            raise StorageError(f"table {name!r} needs at least one layout")
+        rows = {layout.num_rows for layout in layouts}
+        if len(rows) != 1:
+            raise LayoutError(
+                f"table {name!r}: layouts disagree on row count: {rows}"
+            )
+        (row_count,) = rows
+        if num_rows is not None and num_rows != row_count:
+            raise LayoutError(
+                f"table {name!r}: expected {num_rows} rows, layouts have "
+                f"{row_count}"
+            )
+        #: Serializes writers (layout create/retire, appends).  Readers
+        #: never take it — they pin the published snapshot instead.
+        self._write_lock = threading.RLock()
+        self._snapshot = LayoutSnapshot(name, schema, 0, row_count, layouts)
+        self._check_coverage(self._snapshot.layouts)
+
+    # Construction --------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        initial_layout: str = "column",
+    ) -> "Table":
+        """Create a table from per-attribute arrays.
+
+        ``initial_layout`` selects how the data is physically stored at
+        the start: ``"column"`` (one SingleColumn per attribute, the
+        paper's preferred starting point since it is "easier to morph to
+        other layouts") or ``"row"`` (one full-width group).
+        """
+        if initial_layout == "column":
+            layouts: List[Layout] = [
+                SingleColumn(attr, np.asarray(columns[attr]))
+                for attr in schema.names
+            ]
+        elif initial_layout == "row":
+            layouts = [build_row_layout(schema, columns)]
+        else:
+            raise StorageError(
+                f"unknown initial layout {initial_layout!r}; "
+                "expected 'column' or 'row'"
+            )
+        return cls(name, schema, layouts)
+
+    # Snapshot publication ------------------------------------------------
+
+    def snapshot(self) -> LayoutSnapshot:
+        """Pin the current physical state (immutable, epoch-tagged).
+
+        The returned snapshot never changes; a concurrent layout
+        creation/retirement or append publishes a *new* snapshot with a
+        higher epoch, leaving every pinned one intact.  Queries pin one
+        snapshot at admission and plan + scan entirely against it.
+        """
+        return self._snapshot
+
+    def _publish(
+        self, layouts: Sequence[Layout], num_rows: int
+    ) -> None:
+        """Replace the current snapshot (writer lock held), one epoch bump."""
+        self._snapshot = LayoutSnapshot(
+            self.name,
+            self.schema,
+            self._snapshot.epoch + 1,
+            num_rows,
+            layouts,
+        )
+
+    # Delegating read views ----------------------------------------------
+
+    @property
+    def layouts(self) -> Tuple[Layout, ...]:
+        return self._snapshot.layouts
+
+    @property
+    def num_rows(self) -> int:
+        return self._snapshot.num_rows
+
+    @property
+    def layout_epoch(self) -> int:
+        """Monotonic counter bumped whenever the physical state changes
+        (layout added/dropped, rows appended).  Anything caching a
+        decision derived from the layouts — the engine's plan cache
+        above all — tags its entries with the epoch and treats a
+        mismatch as invalidation."""
+        return self._snapshot.epoch
+
+    # Layout management -----------------------------------------------------
+
+    def add_layout(self, layout: Layout) -> None:
+        """Register a new row-aligned layout (atomic publish)."""
+        with self._write_lock:
+            current = self._snapshot
+            if layout.num_rows != current.num_rows:
+                raise LayoutError(
+                    f"layout has {layout.num_rows} rows, table "
+                    f"{self.name!r} has {current.num_rows}"
+                )
+            unknown = [a for a in layout.attrs if a not in self.schema]
+            if unknown:
+                raise LayoutError(
+                    f"layout stores attributes not in schema: {unknown}"
+                )
+            self._publish(
+                current.layouts + (layout,), current.num_rows
+            )
+
+    def drop_layout(self, layout: Layout) -> None:
+        """Remove a layout; refuses to break attribute coverage."""
+        with self._write_lock:
+            current = self._snapshot
+            if layout not in current.layouts:
+                raise LayoutError("layout is not part of this table")
+            remaining = [
+                lay for lay in current.layouts if lay is not layout
+            ]
+            covered: set = set()
+            for lay in remaining:
+                covered |= lay.attr_set
+            missing = set(self.schema.names) - covered
+            if missing:
+                raise LayoutError(
+                    f"dropping {layout.describe()} would leave attributes "
+                    f"unstored: {sorted(missing)}"
+                )
+            self._publish(remaining, current.num_rows)
+
+    def _check_coverage(self, layouts: Sequence[Layout]) -> None:
+        covered: set = set()
+        for layout in layouts:
+            covered |= layout.attr_set
+        missing = set(self.schema.names) - covered
+        if missing:
+            raise LayoutError(
+                f"table {self.name!r}: attributes not stored in any "
+                f"layout: {sorted(missing)}"
+            )
+
+    def append_rows(self, columns: Mapping[str, np.ndarray]) -> None:
+        """Append new tuples, extending *every* layout consistently.
+
+        All layouts grow by the same rows in the same order, preserving
+        the row-alignment invariant (replicated attributes receive the
+        same values everywhere).  The paper's layouts are densely packed
+        with no update slack, so each layout reallocates.
+
+        The extended layouts are built first and published as one new
+        snapshot with a **single** epoch bump after *all* secondary
+        layouts are updated — a concurrent reader therefore either sees
+        the complete pre-append state or the complete post-append state,
+        never a half-appended layout set, and a cached plan can never
+        validate against an intermediate epoch.
+        """
+        missing = [n for n in self.schema.names if n not in columns]
+        if missing:
+            raise LayoutError(f"append is missing attributes: {missing}")
+        lengths = {len(columns[n]) for n in self.schema.names}
+        if len(lengths) != 1:
+            raise LayoutError(
+                f"appended columns differ in length: {lengths}"
+            )
+        (extra,) = lengths
+        if extra == 0:
+            return
+        with self._write_lock:
+            current = self._snapshot
+            extended = [
+                layout.extended(columns) for layout in current.layouts
+            ]
+            self._publish(extended, current.num_rows + extra)
+
+    # Access ----------------------------------------------------------------
+
+    def layouts_containing(self, attr: str) -> Tuple[Layout, ...]:
+        """All layouts storing ``attr``, narrowest first."""
+        return self._snapshot.layouts_containing(attr)
+
+    def covering_layouts(self, attrs: Iterable[str]) -> Tuple[Layout, ...]:
+        """A small set of layouts that together store ``attrs``.
+
+        See :meth:`LayoutSnapshot.covering_layouts`.
+        """
+        return self._snapshot.covering_layouts(attrs)
+
+    def narrowest_cover(self, attrs: Iterable[str]) -> Tuple[Layout, ...]:
+        """Per-attribute narrowest providers.
+
+        See :meth:`LayoutSnapshot.narrowest_cover`.
+        """
+        return self._snapshot.narrowest_cover(attrs)
+
+    def column(self, name: str) -> np.ndarray:
+        """Values of one attribute, read from the narrowest layout."""
+        return self._snapshot.column(name)
+
+    def columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        return self._snapshot.columns(names)
+
     # Reporting ---------------------------------------------------------------
 
     @property
     def nbytes(self) -> int:
         """Total bytes across all layouts (replication counts twice)."""
-        return sum(layout.nbytes for layout in self._layouts)
+        return self._snapshot.nbytes
 
     def layout_summary(self) -> str:
         """One line per layout for logs and reports."""
+        snapshot = self._snapshot
         lines = [
-            f"table {self.name!r}: {self.num_rows} rows x "
-            f"{self.schema.width} attrs, {len(self._layouts)} layouts, "
-            f"{self.nbytes / 1e6:.1f} MB"
+            f"table {self.name!r}: {snapshot.num_rows} rows x "
+            f"{self.schema.width} attrs, {len(snapshot.layouts)} layouts, "
+            f"{snapshot.nbytes / 1e6:.1f} MB"
         ]
-        for layout in self._layouts:
+        for layout in snapshot.layouts:
             lines.append(
                 f"  - {layout.describe()} ({layout.nbytes / 1e6:.1f} MB)"
             )
@@ -286,18 +438,15 @@ class Table:
 
     def kinds(self) -> Tuple[LayoutKind, ...]:
         """The kinds of the current layouts (for tests and reports)."""
-        return tuple(layout.kind for layout in self._layouts)
+        return tuple(layout.kind for layout in self._snapshot.layouts)
 
     def find_group(self, attrs: Iterable[str]) -> Optional[ColumnGroup]:
         """An existing group storing exactly ``attrs``, if any."""
-        wanted = frozenset(attrs)
-        for layout in self._layouts:
-            if isinstance(layout, ColumnGroup) and layout.attr_set == wanted:
-                return layout
-        return None
+        return self._snapshot.find_group(attrs)
 
     def __repr__(self) -> str:
+        snapshot = self._snapshot
         return (
-            f"Table({self.name!r}, rows={self.num_rows}, "
-            f"attrs={self.schema.width}, layouts={len(self._layouts)})"
+            f"Table({self.name!r}, rows={snapshot.num_rows}, "
+            f"attrs={self.schema.width}, layouts={len(snapshot.layouts)})"
         )

@@ -1,0 +1,364 @@
+"""Unit tests for the concurrent query service's building blocks.
+
+Covers admission control, sessions, futures/timeouts, service stats,
+snapshot isolation (including the append-epoch contract), and the
+background adaptation scheduler driven synchronously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import H2OService, generate_table
+from repro.config import EngineConfig
+from repro.errors import (
+    AdaptationError,
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service import AdmissionController, ServiceStats, percentile
+from repro.service.scheduler import AdaptationScheduler
+from repro.storage.relation import LayoutSnapshot
+
+
+@pytest.fixture()
+def table():
+    return generate_table("r", num_attrs=10, num_rows=2000, rng=3)
+
+
+def make_service(table, **kwargs):
+    kwargs.setdefault("config", EngineConfig())
+    service = H2OService(**kwargs)
+    service.register(table)
+    return service
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(0)
+
+    def test_acquire_release_cycle(self):
+        ctl = AdmissionController(2)
+        assert ctl.try_acquire() and ctl.try_acquire()
+        assert not ctl.try_acquire()
+        assert ctl.stats()["rejected"] == 1
+        ctl.release()
+        assert ctl.try_acquire()
+        assert ctl.stats()["peak_in_flight"] == 2
+
+    def test_release_never_goes_negative(self):
+        ctl = AdmissionController(1)
+        ctl.release()
+        assert ctl.in_flight == 0
+
+    def test_overloaded_service_rejects_gracefully(self, table):
+        # Zero workers: nothing drains, so capacity is hit exactly.
+        service = make_service(
+            table, num_workers=0, max_pending=3
+        )
+        try:
+            for _ in range(3):
+                service.submit("SELECT sum(a1) FROM r")
+            with pytest.raises(ServiceOverloadedError):
+                service.submit("SELECT sum(a1) FROM r")
+            snap = service.stats.snapshot()
+            assert snap["submitted"] == 4
+            assert snap["rejected"] == 1
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+
+class TestSessions:
+    def test_session_accounting(self, table):
+        with make_service(table, num_workers=2) as service:
+            session = service.session("alice")
+            for _ in range(5):
+                session.execute("SELECT sum(a1) FROM r", timeout=30.0)
+            stats = session.stats()
+            assert stats["submitted"] == 5
+            assert stats["completed"] == 5
+            assert stats["failed"] == 0
+
+    def test_closed_session_refuses_submissions(self, table):
+        with make_service(table, num_workers=1) as service:
+            session = service.session("bob")
+            session.close()
+            with pytest.raises(ServiceError):
+                session.submit("SELECT sum(a1) FROM r")
+
+    def test_sessions_are_tracked_by_id(self, table):
+        with make_service(table, num_workers=1) as service:
+            service.session("a")
+            service.session("b")
+            assert set(service.sessions()) == {"a", "b"}
+
+    def test_session_rejection_is_counted_per_client(self, table):
+        service = make_service(table, num_workers=0, max_pending=1)
+        try:
+            session = service.session("carol")
+            session.submit("SELECT sum(a1) FROM r")
+            with pytest.raises(ServiceOverloadedError):
+                session.submit("SELECT sum(a1) FROM r")
+            assert session.stats()["rejected"] == 1
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Futures, timeouts, shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestFuturesAndTimeouts:
+    def test_future_resolves_to_report(self, table):
+        with make_service(table, num_workers=2) as service:
+            future = service.submit("SELECT sum(a1), count(*) FROM r")
+            report = future.result(30.0)
+            assert future.done()
+            assert report.result.scalars()[1] == table.num_rows
+
+    def test_queued_query_can_be_cancelled(self, table):
+        service = make_service(table, num_workers=0, max_pending=4)
+        try:
+            future = service.submit("SELECT sum(a1) FROM r")
+            assert future.cancel()
+            assert service.admission.in_flight < 4
+            with pytest.raises(QueryTimeoutError):
+                future.result(0.01)
+        finally:
+            service.close()
+
+    def test_timeout_raises_and_counts(self, table):
+        # No workers -> the query can never finish.
+        service = make_service(table, num_workers=0, max_pending=4)
+        try:
+            future = service.submit(
+                "SELECT sum(a1) FROM r", timeout=0.05
+            )
+            with pytest.raises(QueryTimeoutError):
+                future.result()
+            assert service.stats.snapshot()["timeouts"] == 1
+        finally:
+            service.close()
+
+    def test_default_timeout_applies_to_sessions(self, table):
+        service = make_service(
+            table, num_workers=0, max_pending=4, default_timeout=0.05
+        )
+        try:
+            session = service.session("dave")
+            with pytest.raises(QueryTimeoutError):
+                session.execute("SELECT sum(a1) FROM r")
+            assert session.stats()["timeouts"] == 1
+        finally:
+            service.close()
+
+    def test_closed_service_refuses_submissions(self, table):
+        service = make_service(table, num_workers=1)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit("SELECT sum(a1) FROM r")
+
+    def test_parse_errors_raise_in_the_callers_thread(self, table):
+        from repro.errors import ParseError
+
+        with make_service(table, num_workers=1) as service:
+            with pytest.raises(ParseError):
+                service.submit("SELEC nonsense")
+            # A rejected parse never occupies an admission slot.
+            assert service.admission.in_flight == 0
+
+
+# ---------------------------------------------------------------------------
+# Service stats
+# ---------------------------------------------------------------------------
+
+
+class TestServiceStats:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 100.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_snapshot_is_defensive(self):
+        stats = ServiceStats()
+        stats.note_submitted()
+        stats.note_started()
+        stats.note_completed(0.010)
+        snap = stats.snapshot()
+        snap["completed"] = 999  # mutating the copy...
+        assert stats.snapshot()["completed"] == 1  # ...changes nothing
+        assert stats.snapshot()["p50_ms"] == pytest.approx(10.0)
+
+    def test_peak_concurrency_tracks_overlap(self):
+        stats = ServiceStats()
+        for _ in range(3):
+            stats.note_started()
+        stats.note_completed(0.001)
+        stats.note_started()
+        assert stats.snapshot()["peak_concurrency"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation + the append-epoch contract
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_is_immutable_view(self, table):
+        snap = table.snapshot()
+        assert isinstance(snap, LayoutSnapshot)
+        assert snap.epoch == table.layout_epoch
+        assert snap.num_rows == table.num_rows
+        assert len(snap.layouts) == len(table.layouts)
+
+    def test_append_bumps_epoch_exactly_once(self, table):
+        before = table.layout_epoch
+        n_layouts = len(table.layouts)
+        rows = {
+            name: np.arange(10, dtype=np.int64)
+            for name in table.schema.names
+        }
+        table.append_rows(rows)
+        assert table.layout_epoch == before + 1
+        assert len(table.layouts) == n_layouts
+        assert all(
+            layout.num_rows == table.num_rows for layout in table.layouts
+        )
+
+    def test_old_snapshot_survives_append(self, table):
+        snap = table.snapshot()
+        rows = {
+            name: np.ones(5, dtype=np.int64)
+            for name in table.schema.names
+        }
+        table.append_rows(rows)
+        # The pinned snapshot still sees the pre-append world.
+        assert snap.num_rows == table.num_rows - 5
+        assert snap.column("a1").shape[0] == snap.num_rows
+        assert table.snapshot().num_rows == table.num_rows
+
+    def test_add_and_drop_layout_each_bump_once(self, table):
+        from repro.storage.stitcher import stitch_group
+
+        before = table.layout_epoch
+        group, _ = stitch_group(
+            table.layouts, ("a1", "a2"), table.schema
+        )
+        table.add_layout(group)
+        assert table.layout_epoch == before + 1
+        table.drop_layout(group)
+        assert table.layout_epoch == before + 2
+
+    def test_queries_report_their_snapshot_epoch(self, table):
+        with make_service(table, num_workers=1) as service:
+            report = service.execute(
+                "SELECT sum(a1) FROM r", timeout=30.0
+            )
+            assert report.snapshot_epoch == table.layout_epoch
+
+
+# ---------------------------------------------------------------------------
+# Background adaptation (scheduler driven synchronously)
+# ---------------------------------------------------------------------------
+
+
+class TestBackgroundAdaptation:
+    def test_invalid_adaptation_mode_rejected(self):
+        with pytest.raises(AdaptationError):
+            EngineConfig(adaptation_mode="sometimes")
+
+    def test_background_mode_starts_a_scheduler(self, table):
+        with make_service(
+            table, config=EngineConfig(adaptation_mode="background")
+        ) as service:
+            assert service.scheduler is not None
+            assert service.scheduler.running
+        assert not service.scheduler.running
+
+    def test_inline_mode_has_no_scheduler(self, table):
+        with make_service(table) as service:
+            assert service.scheduler is None
+
+    def test_synchronous_cycle_publishes_a_group(self, table):
+        from repro.core.system import H2OSystem
+
+        system = H2OSystem(
+            config=EngineConfig(adaptation_mode="background")
+        )
+        system.register(table)
+        engine = system.engine_for("r")
+        scheduler = AdaptationScheduler(system)  # never started
+        scheduler.attach(engine)
+        before = table.layout_epoch
+        # Drive enough repeats for the advisor to find a hot group.
+        for _ in range(engine.config.max_window + 5):
+            system.execute("SELECT sum(a1 + a2) FROM r WHERE a3 > 0")
+        published = 0
+        for _ in range(10):
+            published += scheduler.run_cycle()
+            if published:
+                break
+        assert published >= 1
+        assert table.layout_epoch > before
+        assert table.find_group(("a1", "a2", "a3")) is not None or (
+            table.find_group(("a1", "a2")) is not None
+        )
+        assert scheduler.stats()["groups_published"] == published
+
+    def test_published_group_preserves_results(self, table):
+        from repro.core.system import H2OSystem
+
+        sql = "SELECT sum(a1 + a2), count(*) FROM r WHERE a3 > 0"
+        system = H2OSystem(
+            config=EngineConfig(adaptation_mode="background")
+        )
+        system.register(table)
+        engine = system.engine_for("r")
+        scheduler = AdaptationScheduler(system)
+        scheduler.attach(engine)
+        baseline = system.execute(sql).result.scalars()
+        for _ in range(engine.config.max_window + 5):
+            system.execute(sql)
+        scheduler.run_cycle()
+        after = system.execute(sql).result.scalars()
+        assert after == baseline
+
+    def test_append_between_stitch_and_publish_discards_group(self, table):
+        """A publication raced by an append is dropped, not torn."""
+        from repro.core.system import H2OSystem
+        from repro.storage.stitcher import stitch_group
+
+        system = H2OSystem(
+            config=EngineConfig(adaptation_mode="background")
+        )
+        system.register(table)
+        engine = system.engine_for("r")
+        snapshot = table.snapshot()
+        group, _ = stitch_group(
+            snapshot.layouts, ("a1", "a4"), snapshot.schema
+        )
+        rows = {
+            name: np.zeros(3, dtype=np.int64)
+            for name in table.schema.names
+        }
+        table.append_rows(rows)  # invalidates the stitched group
+        assert engine.publish_group(group, 0.0) is False
+        assert table.find_group(("a1", "a4")) is None

@@ -1,0 +1,330 @@
+"""Stress tests: many clients, background adaptation, overload, appends.
+
+The acceptance bar for the concurrent service:
+
+- N >= 8 client threads x M >= 50 mixed query shapes with background
+  adaptation enabled produce results *identical* to serial execution;
+- overload triggers graceful admission rejection, never a crash;
+- no query ever observes a partially materialized layout or a torn
+  row count, even with concurrent appends.
+
+Determinism note: the generated tables hold integer values, so every
+float aggregate (sums of |v| < 2**31 over a few thousand rows) stays
+far below 2**53 and is *exactly* order-independent — concurrent and
+serial runs must agree bit-for-bit, not just approximately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import H2OService, generate_table
+from repro.config import EngineConfig
+from repro.core.system import H2OSystem
+from repro.errors import ServiceOverloadedError
+
+NUM_CLIENTS = 8
+NUM_SHAPES = 56  # 8 clients x 7 queries, > 50 mixed shapes
+
+
+def make_table(name="r", rng=17):
+    return generate_table(name, num_attrs=12, num_rows=4000, rng=rng)
+
+
+def mixed_workload():
+    """56 aggregation queries over mixed shapes, literals, and widths."""
+    queries = []
+    for i in range(NUM_SHAPES):
+        a = 1 + (i % 6)
+        b = 1 + ((i + 3) % 6)
+        c = 7 + (i % 5)
+        threshold = (i - 28) * 10_000_000
+        kind = i % 7
+        if kind == 0:
+            sql = f"SELECT sum(a{a} + a{b}) FROM r WHERE a{c} > {threshold}"
+        elif kind == 1:
+            sql = f"SELECT count(*) FROM r WHERE a{a} < {threshold}"
+        elif kind == 2:
+            sql = (
+                f"SELECT min(a{a}), max(a{b}) FROM r "
+                f"WHERE a{c} > {threshold} AND a{a} < 500000000"
+            )
+        elif kind == 3:
+            sql = (
+                f"SELECT sum(a{a}), count(*) FROM r "
+                f"WHERE a{b} IN ({threshold}, {threshold + 1})"
+            )
+        elif kind == 4:
+            # Hot repeated shape: drives the advisor toward a group.
+            sql = f"SELECT sum(a1 + a2 + a3) FROM r WHERE a4 > {threshold}"
+        elif kind == 5:
+            sql = f"SELECT max(a{a} + a{b}) FROM r"
+        else:
+            sql = (
+                f"SELECT sum(a{a} - a{b}) FROM r "
+                f"WHERE NOT (a{c} > {threshold})"
+            )
+        queries.append(sql)
+    return queries
+
+
+def serial_results(queries):
+    """The ground truth: one fresh engine, one thread, paper defaults."""
+    system = H2OSystem(config=EngineConfig())
+    system.register(make_table())
+    return [system.execute(sql).result.scalars() for sql in queries]
+
+
+# ---------------------------------------------------------------------------
+# Serial equivalence under heavy concurrency + background adaptation
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_results_identical_to_serial():
+    queries = mixed_workload()
+    expected = serial_results(queries)
+
+    service = H2OService(
+        config=EngineConfig(adaptation_mode="background"),
+        num_workers=NUM_CLIENTS,
+        max_pending=4 * NUM_CLIENTS * NUM_SHAPES,
+    )
+    service.register(make_table())
+    results: dict = {}
+    errors: list = []
+
+    def client(worker_id: int) -> None:
+        session = service.session(f"client-{worker_id}", timeout=120.0)
+        try:
+            # Each client runs the full workload in a rotated order so
+            # shapes overlap across threads (maximum cache contention).
+            for offset in range(NUM_SHAPES):
+                index = (offset + worker_id * 7) % NUM_SHAPES
+                report = session.execute(queries[index])
+                results.setdefault(index, []).append(
+                    report.result.scalars()
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(NUM_CLIENTS)
+    ]
+    # GIL guarantees dict.setdefault/append atomicity per op; each index
+    # list only ever gains complete scalar tuples.
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300.0)
+    try:
+        assert not errors, f"client thread failed: {errors[0]!r}"
+        assert all(not t.is_alive() for t in threads), "stress run hung"
+        for index, sql in enumerate(queries):
+            for got in results[index]:
+                assert got == expected[index], (
+                    f"divergence on {sql!r}: {got} != {expected[index]}"
+                )
+        snap = service.stats.snapshot()
+        assert snap["completed"] == NUM_CLIENTS * NUM_SHAPES
+        assert snap["failed"] == 0
+        assert snap["peak_concurrency"] >= 2, (
+            "no scan overlap observed across workers"
+        )
+    finally:
+        service.close()
+
+
+def test_background_adaptation_publishes_during_traffic():
+    """Layout epochs advance mid-run and late queries still agree."""
+    hot = "SELECT sum(a1 + a2 + a3) FROM r WHERE a4 > 0"
+    serial = H2OSystem(config=EngineConfig())
+    serial.register(make_table())
+    expected = serial.execute(hot).result.scalars()
+
+    service = H2OService(
+        config=EngineConfig(adaptation_mode="background"),
+        num_workers=NUM_CLIENTS,
+        max_pending=2048,
+    )
+    service.register(make_table())
+    errors: list = []
+    epochs: list = []
+
+    def client(worker_id: int) -> None:
+        session = service.session(f"hot-{worker_id}", timeout=120.0)
+        try:
+            for _ in range(30):
+                report = session.execute(hot)
+                epochs.append(report.snapshot_epoch)
+                assert report.result.scalars() == expected
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(NUM_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300.0)
+    try:
+        assert not errors, f"client thread failed: {errors[0]!r}"
+        engine = service.system.engine_for("r")
+        deadline = time.monotonic() + 30.0
+        while (
+            engine.table.find_group(("a1", "a2", "a3", "a4")) is None
+            and engine.table.layout_epoch == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        assert engine.table.layout_epoch >= 1, (
+            "background adaptation never published a layout"
+        )
+        assert service.scheduler.stats()["groups_published"] >= 1
+        # Queries that planned against the new epoch saw the same data.
+        assert service.execute(hot, timeout=60.0).result.scalars() == (
+            expected
+        )
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Overload: back-pressure, not crashes
+# ---------------------------------------------------------------------------
+
+
+def test_overload_rejects_gracefully_from_many_threads():
+    service = H2OService(
+        config=EngineConfig(),
+        num_workers=1,
+        max_pending=4,
+    )
+    service.register(make_table())
+    outcomes = {"completed": 0, "rejected": 0}
+    errors: list = []
+    lock = threading.Lock()
+
+    def flood(worker_id: int) -> None:
+        session = service.session(f"flood-{worker_id}", timeout=120.0)
+        for i in range(12):
+            try:
+                report = session.execute(
+                    f"SELECT sum(a{1 + i % 4}) FROM r"
+                )
+                assert len(report.result.scalars()) == 1
+                with lock:
+                    outcomes["completed"] += 1
+            except ServiceOverloadedError:
+                with lock:
+                    outcomes["rejected"] += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=flood, args=(i,)) for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300.0)
+    try:
+        assert not errors, f"unexpected failure: {errors[0]!r}"
+        total = outcomes["completed"] + outcomes["rejected"]
+        assert total == 8 * 12
+        assert outcomes["rejected"] >= 1, (
+            "the flood never tripped admission control"
+        )
+        assert outcomes["completed"] >= 1
+        snap = service.stats.snapshot()
+        assert snap["rejected"] == outcomes["rejected"]
+        assert service.admission.in_flight == 0
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent appends: no torn row counts, no partial layouts
+# ---------------------------------------------------------------------------
+
+
+def test_appends_concurrent_with_queries_never_tear():
+    table = make_table()
+    base_rows = table.num_rows
+    batch = 64
+    num_batches = 20
+    valid_counts = {base_rows + k * batch for k in range(num_batches + 1)}
+
+    service = H2OService(
+        config=EngineConfig(adaptation_mode="background"),
+        num_workers=4,
+        max_pending=2048,
+    )
+    service.register(table)
+    errors: list = []
+    stop = threading.Event()
+
+    def writer() -> None:
+        rng = np.random.default_rng(5)
+        try:
+            for _ in range(num_batches):
+                rows = {
+                    name: rng.integers(
+                        -(10**9), 10**9, size=batch, dtype=np.int64
+                    )
+                    for name in table.schema.names
+                }
+                table.append_rows(rows)
+                time.sleep(0.002)
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    observed: list = []
+
+    def reader(worker_id: int) -> None:
+        session = service.session(f"reader-{worker_id}", timeout=120.0)
+        try:
+            while not stop.is_set():
+                report = session.execute(
+                    "SELECT count(*), sum(a1 - a1) FROM r"
+                )
+                count, zero = report.result.scalars()
+                observed.append(int(count))
+                # A torn snapshot would scan layouts of unequal length;
+                # sum(a1 - a1) == 0 proves the scan was consistent.
+                assert zero == 0
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    writer_thread = threading.Thread(target=writer)
+    reader_threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(4)
+    ]
+    for thread in reader_threads:
+        thread.start()
+    writer_thread.start()
+    writer_thread.join(120.0)
+    for thread in reader_threads:
+        thread.join(120.0)
+    try:
+        assert not errors, f"concurrent append/read failed: {errors[0]!r}"
+        assert observed, "readers never completed a query"
+        torn = [c for c in observed if c not in valid_counts]
+        assert not torn, f"torn row counts observed: {sorted(set(torn))}"
+        # Epoch advanced exactly once per append (plus any background
+        # layout publications, which only ever add to it).
+        assert table.layout_epoch >= num_batches
+        assert table.num_rows == base_rows + num_batches * batch
+        assert all(
+            layout.num_rows == table.num_rows for layout in table.layouts
+        )
+    finally:
+        service.close()
