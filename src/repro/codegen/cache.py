@@ -93,6 +93,18 @@ class OperatorCache:
         with self._lock:
             return len(self._entries)
 
+    def entries(self) -> Tuple[Tuple[Hashable, CacheEntry], ...]:
+        """A consistent (key, entry) copy for auditing.
+
+        The testkit oracle walks this to assert key/source agreement:
+        every cached kernel must still carry the exact source it was
+        compiled from (``kernel.__h2o_source__ == entry.source``), so a
+        cache corruption or a kernel swapped under a stale key is
+        caught the moment it happens.
+        """
+        with self._lock:
+            return tuple(self._entries.items())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

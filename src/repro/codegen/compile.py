@@ -16,6 +16,7 @@ from typing import Callable, Tuple
 import numpy as np
 
 from ..errors import CodegenError
+from ..util.faultpoints import fault_point
 
 _counter = itertools.count()
 
@@ -31,6 +32,11 @@ def compile_kernel(
     emitted ``.cpp`` files around.
     """
     filename = f"<h2o-operator-{next(_counter)}>"
+    # Injectable failure site: a compiler rejecting generated source.
+    # The testkit raises CodegenError here; the executor's interpreted
+    # fallback must then answer the query identically (see
+    # Executor._run_generated and docs/testing.md).
+    fault_point("codegen.compile", kernel_name=kernel_name)
     try:
         code = compile(source, filename, "exec")
     except SyntaxError as exc:

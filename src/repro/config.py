@@ -117,6 +117,11 @@ class EngineConfig:
     #: Whether to use on-the-fly generated operators at all; when False the
     #: engine falls back to the generic interpreted operator (Fig. 14).
     use_codegen: bool = True
+    #: Whether a *failed* generation/compilation degrades to the
+    #: interpreted operator (counted in ``Executor.codegen_fallbacks``)
+    #: instead of failing the query.  Disable to surface codegen bugs
+    #: loudly in tests; the fault-injection oracle exercises both.
+    codegen_fallback: bool = True
     #: Minimum windowed pattern frequency needed before a candidate
     #: layout may be materialized (its expected net gain must also be
     #: positive, so this is a floor, not the whole amortization test).

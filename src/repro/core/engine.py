@@ -73,7 +73,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..config import EngineConfig
-from ..errors import ExecutionError, LayoutError
+from ..errors import ExecutionError, LayoutError, ReorganizationError
 from ..execution.executor import ExecStats, Executor
 from ..execution.result import QueryResult
 from ..execution.strategies import AccessPlan, enumerate_plans
@@ -177,6 +177,10 @@ class H2OEngine:
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
         self.candidates: List[CandidateLayout] = []
         self.reports: List[QueryReport] = []
+        #: Online reorganizations that aborted mid-stitch (the partial
+        #: group was discarded, the query answered via plain planning).
+        #: The testkit oracle matches this against its injected faults.
+        self.reorg_aborts = 0
         self._query_counter = 0
         self._shift_since_adaptation = False
         self._last_adaptation_snapshot: Optional[tuple] = None
@@ -307,10 +311,18 @@ class H2OEngine:
         prep.info = info
         candidate = self._triggered_candidate(info)
         if candidate is not None:
-            prep.result, prep.stats = self._materialize_and_execute(
-                info, candidate, index, phases
-            )
-            return prep
+            try:
+                prep.result, prep.stats = self._materialize_and_execute(
+                    info, candidate, index, phases
+                )
+                return prep
+            except ReorganizationError:
+                # The stitch aborted mid-build.  Nothing was published
+                # (the partial group only ever lived in a local buffer),
+                # the candidate stays in the pool so a later query can
+                # retry the stitch, and *this* query is answered through
+                # ordinary cost-based planning — degraded, never wrong.
+                self.reorg_aborts += 1
         prep.plan, prep.cost = self._choose_plan(snapshot, info, phases)
         return prep
 
@@ -869,7 +881,8 @@ class H2OEngine:
                 f"  window size: {self.window.size} "
                 f"(shrinks={self.window.shrink_events}, "
                 f"grows={self.window.grow_events})",
-                f"  candidates pending: {len(self.candidates)}",
+                f"  candidates pending: {len(self.candidates)} "
+                f"(reorg aborts: {self.reorg_aborts})",
                 f"  layouts created: {len(self.manager.creation_log)} "
                 f"({self.manager.creation_seconds():.3f}s)",
                 "  operator cache: size={} hits={} misses={} "

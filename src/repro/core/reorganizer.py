@@ -43,6 +43,7 @@ from ..sql.analyzer import QueryInfo
 from ..storage.column_group import ColumnGroup
 from ..storage.relation import LayoutSnapshot, Table
 from ..storage.stitcher import stitch_group
+from ..util.faultpoints import fault_point
 from ..util.timing import Timer
 
 #: Anything the reorganizer can read layouts from: a live table or an
@@ -79,6 +80,11 @@ class Reorganizer:
         ordered = table.schema.ordered(attrs)
         sources = table.covering_layouts(ordered)
         full_width = len(ordered) == table.schema.width
+        # Injectable failure site: a background stitch dying before the
+        # group is built.  Raises ReorganizationError; the caller (the
+        # adaptation scheduler) counts a stitch failure and retries the
+        # candidate on a later cycle from a fresh snapshot.
+        fault_point("reorg.offline", attrs=ordered)
         with Timer() as timer:
             group, _stats = stitch_group(
                 sources, ordered, table.schema, full_width=full_width
@@ -139,6 +145,12 @@ class Reorganizer:
 
         for start in range(0, num_rows, block_rows):
             stop = min(start + block_rows, num_rows)
+            # Injectable failure site: the online stitch aborting *mid*-
+            # reorganization — ``data`` already holds partially stitched
+            # blocks at this point.  Raises ReorganizationError; the
+            # engine discards the partial group (it was never published)
+            # and answers the query through ordinary planning instead.
+            fault_point("reorg.online", attrs=ordered, offset=start)
             block = data[start:stop]
             # The stitch: copy source slices into the new layout's block.
             for attr in ordered:

@@ -65,6 +65,21 @@ class CatalogError(StorageError):
     of an unknown table."""
 
 
+class ReorganizationError(StorageError):
+    """Raised when a layout reorganization (stitch) aborts mid-build.
+
+    The contract every caller upholds: an aborted stitch leaves the
+    table's published layout set untouched (the partially built group is
+    discarded), the triggering candidate stays eligible so the stitch is
+    retried later, and — for online reorganization — the triggering
+    query is still answered through ordinary cost-based planning.  The
+    engine counts these aborts (``H2OEngine.reorg_aborts``) and the
+    background scheduler counts them as ``stitch_failures``; the testkit
+    oracle asserts the counts match its injected faults, so a silently
+    swallowed abort is detected.
+    """
+
+
 class ExecutionError(H2OError):
     """Raised when a physical plan cannot be executed, e.g. the available
     layouts do not cover the attributes a query needs."""

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+import threading
+
 from ..config import EngineConfig
+from ..errors import CodegenError
 from ..sql.analyzer import QueryInfo
 from .result import QueryResult
 from .strategies import AccessPlan, ExecutionStrategy
@@ -58,6 +61,12 @@ class Executor:
             enabled=self.config.operator_cache,
             capacity=self.config.max_cached_operators,
         )
+        #: How many times the generated path failed and the interpreted
+        #: fallback answered instead (see :meth:`_run_generated`).  The
+        #: testkit oracle asserts this equals the number of compile
+        #: faults it injected — a silently swallowed failure is caught.
+        self.codegen_fallbacks = 0
+        self._fallback_lock = threading.Lock()
 
     def run_plan(
         self, info: QueryInfo, plan: AccessPlan
@@ -152,9 +161,24 @@ class Executor:
     ) -> Tuple[QueryResult, ExecStats]:
         from ..codegen.generator import generate_operator
 
-        operator, gen_seconds, cache_hit = generate_operator(
-            info, plan, self.config, self.operator_cache
-        )
+        try:
+            operator, gen_seconds, cache_hit = generate_operator(
+                info, plan, self.config, self.operator_cache
+            )
+        except CodegenError:
+            # A failed generation/compilation must never fail the query:
+            # the interpreted operators answer any supported shape over
+            # any layout combination, just slower (Fig. 14).  The
+            # fallback is counted so it can never pass silently; with
+            # ``codegen_fallback=False`` (tests hunting real codegen
+            # bugs) the error propagates instead.
+            if not self.config.codegen_fallback:
+                raise
+            with self._fallback_lock:
+                self.codegen_fallbacks += 1
+            result, stats = self._run_interpreted(info, plan)
+            stats.extras["codegen_fallback"] = True
+            return result, stats
         result, intermediate, qualifying = operator.run(plan.layouts)
         stats = ExecStats(
             strategy=plan.strategy,

@@ -28,6 +28,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Set
 
+from ..errors import ReorganizationError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import H2OEngine
     from ..core.system import H2OSystem
@@ -55,6 +57,11 @@ class AdaptationScheduler:
         self.advisor_runs = 0
         self.groups_published = 0
         self.groups_discarded = 0
+        #: Stitches that aborted mid-build (ReorganizationError).  The
+        #: candidate stays eligible and is retried on a later cycle;
+        #: the testkit oracle matches this count against its injected
+        #: faults so an abort can never be swallowed silently.
+        self.stitch_failures = 0
 
     # Lifecycle ------------------------------------------------------------
 
@@ -126,9 +133,16 @@ class AdaptationScheduler:
                 snapshot = engine.table.snapshot()
                 if snapshot.find_group(candidate.attrs) is not None:
                     continue
-                outcome = engine.reorganizer.offline(
-                    snapshot, candidate.attrs
-                )
+                try:
+                    outcome = engine.reorganizer.offline(
+                        snapshot, candidate.attrs
+                    )
+                except ReorganizationError:
+                    # The stitch died before producing a group: nothing
+                    # was published, the candidate stays eligible, and
+                    # the next cycle retries from a fresh snapshot.
+                    self.stitch_failures += 1
+                    continue
                 if engine.publish_group(outcome.group, outcome.seconds):
                     self.groups_published += 1
                     published += 1
@@ -143,5 +157,6 @@ class AdaptationScheduler:
             "advisor_runs": self.advisor_runs,
             "groups_published": self.groups_published,
             "groups_discarded": self.groups_discarded,
+            "stitch_failures": self.stitch_failures,
             "running": self.running,
         }

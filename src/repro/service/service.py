@@ -38,9 +38,11 @@ from ..core.system import H2OSystem
 from ..errors import (
     QueryTimeoutError,
     ServiceClosedError,
+    ServiceError,
     ServiceOverloadedError,
 )
 from ..sql.parser import parse_query
+from ..util.faultpoints import fault_point
 from ..sql.query import Query
 from ..storage.relation import Table
 from .admission import AdmissionController
@@ -223,15 +225,11 @@ class H2OService:
         self._closed = threading.Event()
         self._session_lock = threading.Lock()
         self._sessions: Dict[str, Session] = {}
+        self._worker_lock = threading.Lock()
+        self._worker_ids = itertools.count()
         self._workers: List[threading.Thread] = []
-        for i in range(num_workers):
-            worker = threading.Thread(
-                target=self._worker_loop,
-                name=f"{name}-worker-{i}",
-                daemon=True,
-            )
-            worker.start()
-            self._workers.append(worker)
+        for _ in range(num_workers):
+            self._spawn_worker()
         self.scheduler: Optional[AdaptationScheduler] = None
         if self.system.config.adaptation_mode == "background":
             self.scheduler = AdaptationScheduler(self.system)
@@ -342,22 +340,59 @@ class H2OService:
 
     # Worker loop ---------------------------------------------------------
 
+    def _spawn_worker(self) -> threading.Thread:
+        """Start one worker thread (initial pool or death replacement)."""
+        worker = threading.Thread(
+            target=self._worker_loop,
+            name=f"{self.name}-worker-{next(self._worker_ids)}",
+            daemon=True,
+        )
+        with self._worker_lock:
+            self._workers.append(worker)
+        worker.start()
+        return worker
+
     def _worker_loop(self) -> None:
         while True:
             ticket = self._queue.get()
             if ticket is None:  # shutdown sentinel
                 return
             try:
-                self._run_ticket(ticket)
-            finally:
-                self.admission.release()
+                try:
+                    self._run_ticket(ticket)
+                finally:
+                    self.admission.release()
+            except BaseException as exc:  # noqa: BLE001 - worker death
+                # An exception escaped the per-ticket scope: this worker
+                # thread is dying.  Fail the waiter with the documented
+                # ServiceError (never leave it hanging), count the
+                # death, and replace the thread so capacity recovers.
+                self._on_worker_death(ticket, exc)
+                return
+
+    def _on_worker_death(
+        self, ticket: _QueryTicket, exc: BaseException
+    ) -> None:
+        self.stats.note_worker_death()
+        if not ticket.event.is_set():
+            ticket.fail(
+                ServiceError(
+                    f"worker died while serving query: {exc!r} "
+                    f"({ticket.query.to_sql()})"
+                )
+            )
+            self.stats.note_failed()
+            if ticket.session is not None:
+                ticket.session._note("failed")
+        if not self._closed.is_set():
+            self._spawn_worker()
 
     def _run_ticket(self, ticket: _QueryTicket) -> None:
         if self._closed.is_set():
             ticket.fail(
                 ServiceClosedError(f"service {self.name!r} is closed")
             )
-            self.stats.note_failed()
+            self.stats.note_failed(started=False)
             return
         if (
             ticket.deadline is not None
@@ -371,7 +406,16 @@ class H2OService:
             return  # cancelled by the waiter
         self.stats.note_started()
         started = time.monotonic()
+        # Injectable failure site: an abrupt worker death.  Deliberately
+        # *outside* the per-query exception scope, so the raise escapes
+        # to the worker loop's death handler (waiter gets ServiceError,
+        # the thread is replaced).
+        fault_point("service.worker", query=ticket.query.to_sql())
         try:
+            # Injectable failure site: a per-query failure inside the
+            # execution scope (the testkit injects QueryTimeoutError to
+            # model a forced timeout); forwarded to the waiter below.
+            fault_point("service.execute", query=ticket.query.to_sql())
             report = self.system.execute(ticket.query)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
             ticket.fail(exc)
@@ -403,16 +447,44 @@ class H2OService:
     # Lifecycle ------------------------------------------------------------
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop accepting work, drain workers, stop the scheduler."""
+        """Stop accepting work, drain workers, stop the scheduler.
+
+        Every ticket still queued when the workers exit — including one
+        that raced past the closed check in :meth:`submit` — is failed
+        with :class:`~repro.errors.ServiceClosedError`, so no waiter is
+        ever left blocking on a queue that nobody drains.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
-        for _ in self._workers:
+        with self._worker_lock:
+            workers = list(self._workers)
+        for _ in workers:
             self._queue.put(None)
-        for worker in self._workers:
+        for worker in workers:
             worker.join(timeout)
         if self.scheduler is not None:
             self.scheduler.stop()
+        # Fail anything left in the queue (raced submissions, tickets
+        # behind a dead worker's unconsumed sentinel).
+        while True:
+            try:
+                ticket = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if ticket is None:
+                continue
+            if not ticket.event.is_set():
+                ticket.fail(
+                    ServiceClosedError(
+                        f"service {self.name!r} closed before the query "
+                        f"ran: {ticket.query.to_sql()}"
+                    )
+                )
+                self.stats.note_failed(started=False)
+                if ticket.session is not None:
+                    ticket.session._note("failed")
+            self.admission.release()
 
     @property
     def closed(self) -> bool:

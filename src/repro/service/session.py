@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
-from ..errors import ServiceError
+from ..errors import ServiceClosedError
 from ..sql.query import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,9 +54,15 @@ class Session:
         query: Union[Query, str],
         timeout: Optional[float] = None,
     ) -> "QueryFuture":
-        """Enqueue a query under this session; returns a future."""
+        """Enqueue a query under this session; returns a future.
+
+        Raises :class:`~repro.errors.ServiceClosedError` when either the
+        session or its service has been closed (the service performs its
+        own check in :meth:`H2OService.submit`) — shutdown always
+        surfaces as the documented error, never a bare queue failure.
+        """
         if self._closed:
-            raise ServiceError(
+            raise ServiceClosedError(
                 f"session {self.session_id!r} is closed"
             )
         effective = timeout if timeout is not None else self.default_timeout

@@ -42,6 +42,11 @@ class ServiceStats:
         self.timeouts = 0
         self.failed = 0
         self.cancelled = 0
+        #: Worker threads that died abruptly (exception escaping the
+        #: per-ticket scope); each is replaced by a fresh thread unless
+        #: the service is closing.  The testkit oracle matches this
+        #: count against its injected worker-death faults.
+        self.worker_deaths = 0
         #: Peak number of queries executing simultaneously (a direct
         #: measure of scan overlap across workers).
         self.peak_concurrency = 0
@@ -69,10 +74,18 @@ class ServiceStats:
             self.completed += 1
             self._latencies.append(seconds)
 
-    def note_failed(self) -> None:
+    def note_failed(self, started: bool = True) -> None:
+        """Count a failed query; ``started=False`` when it never ran
+        (e.g. drained at shutdown) so the in-flight gauge stays honest.
+        """
         with self._lock:
-            self._running = max(0, self._running - 1)
+            if started:
+                self._running = max(0, self._running - 1)
             self.failed += 1
+
+    def note_worker_death(self) -> None:
+        with self._lock:
+            self.worker_deaths += 1
 
     def note_timeout(self) -> None:
         with self._lock:
@@ -95,6 +108,7 @@ class ServiceStats:
                 "timeouts": self.timeouts,
                 "failed": self.failed,
                 "cancelled": self.cancelled,
+                "worker_deaths": self.worker_deaths,
                 "in_flight": self._running,
                 "peak_concurrency": self.peak_concurrency,
             }

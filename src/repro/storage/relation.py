@@ -109,6 +109,12 @@ class LayoutSnapshot:
         (section 4.2.2: subsets of groups and multi-group access).
         """
         needed = set(attrs)
+        if not needed:
+            # Attribute-free queries (a bare ``SELECT count(*)``) still
+            # need a row count from *some* layout; the narrowest does.
+            if not self.layouts:
+                return ()
+            return (min(self.layouts, key=lambda l: l.width),)
         unknown = [a for a in needed if a not in self.schema]
         if unknown:
             raise LayoutError(f"unknown attributes: {sorted(unknown)}")

@@ -1,0 +1,59 @@
+"""The H2O testkit: differential oracle + deterministic fault injection.
+
+H2O's value proposition is that continuous physical change — lazy
+materialization fused with execution, background stitching, JiT
+operator swaps, plan caching — is *invisible* in query answers.  This
+package is the standing correctness gate for that property:
+
+- :mod:`~repro.testkit.generate` — a seeded random workload generator:
+  schemas, integer data distributions, and query ASTs (SELECT / WHERE /
+  aggregates built through :mod:`repro.sql.builder`), fully determined
+  by one seed;
+- :mod:`~repro.testkit.oracle` — the differential oracle: every
+  generated sequence runs through the adaptive engine in all adaptation
+  modes (inline, interpreted, background via the service with N
+  workers) *and* through the row baseline, the column baseline, and the
+  interpreted Volcano evaluator, asserting bit-identical results and
+  engine invariants (epoch monotonicity, snapshot row-count
+  consistency, schema coverage, operator-cache key/source agreement)
+  after every step;
+- :mod:`~repro.testkit.faults` — the deterministic fault-injection
+  driver: a seeded schedule of compile failures, mid-stitch aborts,
+  worker deaths and forced timeouts, installed into the production
+  fault points of :mod:`repro.util.faultpoints`, with the oracle
+  asserting that every injected fault surfaces as the documented
+  :mod:`repro.errors` exception or a counted clean fallback — never a
+  wrong answer or a torn snapshot;
+- :mod:`~repro.testkit.shrink` — shrinking of failing cases to a
+  minimal schema + query repro (printed in ≤10 lines with the seed);
+- :mod:`~repro.testkit.runner` — the CLI:
+  ``python -m repro.testkit run --seqs 50 --seed 0``.
+
+See ``docs/testing.md`` for the architecture, how to reproduce a
+failure from a printed seed, and how to add a new injection point.
+"""
+
+from .generate import CaseSpec, random_case, random_query
+from .faults import FaultInjector, FiredFault, random_schedule
+from .oracle import (
+    DifferentialOracle,
+    OracleFailure,
+    SequenceResult,
+    run_sequence,
+)
+from .shrink import format_repro, shrink_case
+
+__all__ = [
+    "CaseSpec",
+    "DifferentialOracle",
+    "FaultInjector",
+    "FiredFault",
+    "OracleFailure",
+    "SequenceResult",
+    "format_repro",
+    "random_case",
+    "random_query",
+    "random_schedule",
+    "run_sequence",
+    "shrink_case",
+]

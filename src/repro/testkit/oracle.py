@@ -1,0 +1,502 @@
+"""The differential oracle: adaptation must be invisible in answers.
+
+One generated :class:`~repro.testkit.generate.CaseSpec` is executed
+through six independent paths, each over its *own* copy of the same
+deterministic data:
+
+1. **row reference** — the static row-store baseline, interpreted
+   (no codegen): the ground truth, sharing as little machinery with the
+   adaptive paths as possible;
+2. **volcano** — the generic interpreted Volcano evaluator over the
+   initial column layouts (a :class:`~repro.baselines.base.StaticEngine`
+   with codegen off);
+3. **column baseline** — the late-materialization column store;
+4. **adaptive inline** — the full H2O engine, paper defaults with a
+   small adaptation window so advisor runs, online reorganizations and
+   plan-cache hits all happen inside a short sequence;
+5. **adaptive interpreted** — the same engine with codegen disabled;
+6. **adaptive background** — the engine behind the concurrent service
+   with N workers and the background adaptation scheduler.
+
+Every mode must produce **bit-identical** :class:`~repro.execution.
+result.QueryResult` data (the generator bounds values so all float64
+arithmetic is exact), and after every step the adaptive engines must
+satisfy the physical invariants:
+
+- layout **epoch monotonicity** (a snapshot's epoch never regresses);
+- **snapshot row-count consistency** (every layout in a snapshot has
+  exactly the snapshot's row count — no torn layout set);
+- **coverage** (the union of layout attribute sets covers the schema);
+- **operator-cache key/source agreement** (every cached kernel still
+  carries the exact source it was compiled from).
+
+The fault pass then re-runs the sequence with a seeded
+:class:`~repro.testkit.faults.FaultInjector` installed and asserts that
+every fired fault surfaces as the documented exception or a *counted*
+clean fallback — and that every query that did answer still answered
+identically to the reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.base import StaticEngine
+from ..baselines.column_engine import ColumnStoreEngine
+from ..baselines.row_engine import RowStoreEngine
+from ..config import EngineConfig
+from ..core.engine import H2OEngine
+from ..errors import QueryTimeoutError, ServiceError
+from ..execution.result import QueryResult
+from ..service.service import H2OService
+from ..util.rng import derive_rng
+from .faults import FaultInjector, random_schedule
+from .generate import CaseSpec
+
+#: Adaptation knobs used by the oracle's adaptive modes: a small window
+#: so short sequences still exercise advisor runs, reorganizations and
+#: the plan cache.
+ORACLE_CONFIG = dict(
+    window_size=4,
+    min_window=2,
+    max_window=12,
+    amortization_threshold=1.0,
+)
+
+CLEAN_MODES = (
+    "volcano",
+    "column",
+    "adaptive-inline",
+    "adaptive-interpreted",
+    "adaptive-background",
+)
+
+
+class OracleFailure(AssertionError):
+    """A divergence, invariant violation, or unaccounted fault."""
+
+
+@dataclass
+class SequenceResult:
+    """What one oracle sequence executed and observed."""
+
+    spec: CaseSpec
+    modes: Tuple[str, ...]
+    queries_checked: int = 0
+    #: point → number of injected faults that actually fired.
+    fired_faults: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        fired = sum(self.fired_faults.values())
+        return (
+            f"{self.spec.describe()} — {self.queries_checked} answers "
+            f"checked, {fired} fault(s) fired, {self.seconds:.2f}s"
+        )
+
+
+# Result comparison ----------------------------------------------------------
+
+
+def results_identical(a: QueryResult, b: QueryResult) -> bool:
+    """Bit-identical modulo float64 widening (NaN compares equal).
+
+    The generator bounds values so every sum/product is exactly
+    representable in float64; engines may carry int64 or float64
+    internally, but the *values* must match exactly.
+    """
+    if a.column_names != b.column_names:
+        return False
+    if a.data.shape != b.data.shape:
+        return False
+    mine = np.asarray(a.data, dtype=np.float64)
+    theirs = np.asarray(b.data, dtype=np.float64)
+    return bool(np.array_equal(mine, theirs, equal_nan=True))
+
+
+def _describe_divergence(
+    index: int, sql: str, got: QueryResult, want: QueryResult, mode: str
+) -> str:
+    return (
+        f"[{mode}] query #{index} diverged from the row reference\n"
+        f"  sql:  {sql}\n"
+        f"  want: shape={want.data.shape} {want.rows()[:3]}\n"
+        f"  got:  shape={got.data.shape} {got.rows()[:3]}"
+    )
+
+
+# Invariant checks -----------------------------------------------------------
+
+
+def check_engine_invariants(
+    engine: H2OEngine, last_epoch: int, label: str
+) -> int:
+    """Assert the physical invariants; returns the current epoch."""
+    snapshot = engine.table.snapshot()
+    if snapshot.epoch < last_epoch:
+        raise OracleFailure(
+            f"[{label}] layout epoch regressed: {snapshot.epoch} < "
+            f"{last_epoch}"
+        )
+    for layout in snapshot.layouts:
+        if layout.num_rows != snapshot.num_rows:
+            raise OracleFailure(
+                f"[{label}] torn snapshot: layout {layout.describe()} has "
+                f"{layout.num_rows} rows, snapshot has {snapshot.num_rows}"
+            )
+    covered: set = set()
+    for layout in snapshot.layouts:
+        covered |= layout.attr_set
+    missing = set(engine.table.schema.names) - covered
+    if missing:
+        raise OracleFailure(
+            f"[{label}] layouts no longer cover the schema; missing "
+            f"{sorted(missing)}"
+        )
+    for key, entry in engine.executor.operator_cache.entries():
+        source = getattr(entry.kernel, "__h2o_source__", None)
+        if source != entry.source:
+            raise OracleFailure(
+                f"[{label}] operator-cache key/source disagreement for "
+                f"key {key!r}: the cached kernel was not compiled from "
+                f"the cached source"
+            )
+    return snapshot.epoch
+
+
+# The oracle -----------------------------------------------------------------
+
+
+class DifferentialOracle:
+    """Runs one spec through every mode and the fault pass."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 3,
+        with_faults: bool = True,
+        faults_per_point: int = 2,
+    ) -> None:
+        self.workers = workers
+        self.with_faults = with_faults
+        self.faults_per_point = faults_per_point
+
+    # Engine/config factories ---------------------------------------------
+
+    def _adaptive_config(self, **overrides: object) -> EngineConfig:
+        merged = dict(ORACLE_CONFIG)
+        merged.update(overrides)
+        return EngineConfig(**merged)
+
+    # Reference ------------------------------------------------------------
+
+    def reference_results(self, spec: CaseSpec) -> List[QueryResult]:
+        """Ground truth: the interpreted row baseline."""
+        engine = RowStoreEngine(
+            spec.build_table(), EngineConfig(use_codegen=False)
+        )
+        return [engine.execute(q).result for q in spec.parsed()]
+
+    # Clean differential modes ---------------------------------------------
+
+    def run_case(self, spec: CaseSpec) -> SequenceResult:
+        """Run every mode + the fault pass; raises OracleFailure."""
+        started = time.perf_counter()
+        expected = self.reference_results(spec)
+        outcome = SequenceResult(spec=spec, modes=CLEAN_MODES)
+        self._run_static(
+            spec,
+            expected,
+            StaticEngine(spec.build_table(), EngineConfig(use_codegen=False)),
+            "volcano",
+        )
+        self._run_static(
+            spec, expected, ColumnStoreEngine(spec.build_table()), "column"
+        )
+        self._run_adaptive(spec, expected, use_codegen=True)
+        self._run_adaptive(spec, expected, use_codegen=False)
+        self._run_service(spec, expected)
+        outcome.queries_checked = len(expected) * (len(CLEAN_MODES) + 1)
+        if self.with_faults:
+            fired_inline = self._run_faulted_inline(spec, expected)
+            fired_service = self._run_faulted_service(spec, expected)
+            for point, count in {**fired_inline, **fired_service}.items():
+                outcome.fired_faults[point] = (
+                    fired_inline.get(point, 0) + fired_service.get(point, 0)
+                )
+        outcome.seconds = time.perf_counter() - started
+        return outcome
+
+    def _run_static(
+        self,
+        spec: CaseSpec,
+        expected: Sequence[QueryResult],
+        engine,
+        mode: str,
+    ) -> None:
+        for index, query in enumerate(spec.parsed()):
+            got = engine.execute(query).result
+            if not results_identical(got, expected[index]):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index, spec.queries[index], got, expected[index], mode
+                    )
+                )
+
+    def _run_adaptive(
+        self,
+        spec: CaseSpec,
+        expected: Sequence[QueryResult],
+        use_codegen: bool,
+    ) -> None:
+        mode = "adaptive-inline" if use_codegen else "adaptive-interpreted"
+        engine = H2OEngine(
+            spec.build_table(),
+            self._adaptive_config(use_codegen=use_codegen),
+        )
+        epoch = 0
+        for index, query in enumerate(spec.parsed()):
+            report = engine.execute(query)
+            if not results_identical(report.result, expected[index]):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index,
+                        spec.queries[index],
+                        report.result,
+                        expected[index],
+                        mode,
+                    )
+                )
+            epoch = check_engine_invariants(engine, epoch, mode)
+            if report.snapshot_epoch > epoch:
+                raise OracleFailure(
+                    f"[{mode}] report pinned epoch {report.snapshot_epoch} "
+                    f"newer than the table's {epoch}"
+                )
+
+    def _run_service(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> None:
+        mode = "adaptive-background"
+        service = H2OService(
+            config=self._adaptive_config(adaptation_mode="background"),
+            num_workers=self.workers,
+            max_pending=4 * max(1, len(spec.queries)),
+            name="oracle-service",
+        )
+        try:
+            service.register(spec.build_table())
+            engine = service.system.engine_for(spec.table_name)
+            epoch = 0
+            # Submit the whole sequence concurrently — workers interleave
+            # shapes while the background scheduler publishes layouts.
+            futures = [
+                service.submit(sql, timeout=120.0) for sql in spec.queries
+            ]
+            for index, future in enumerate(futures):
+                report = future.result(120.0)
+                if not results_identical(report.result, expected[index]):
+                    raise OracleFailure(
+                        _describe_divergence(
+                            index,
+                            spec.queries[index],
+                            report.result,
+                            expected[index],
+                            mode,
+                        )
+                    )
+                epoch = check_engine_invariants(engine, epoch, mode)
+        finally:
+            service.close()
+
+    # Fault passes ---------------------------------------------------------
+
+    def _run_faulted_inline(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> Dict[str, int]:
+        """Inline engine under compile + online-stitch faults.
+
+        Both fault kinds have *fallback* semantics: every query must
+        still be answered, identically, and every fired fault must be
+        visible in the engine's counters afterwards.
+        """
+        mode = "faults-inline"
+        engine = H2OEngine(spec.build_table(), self._adaptive_config())
+        schedule = random_schedule(
+            derive_rng(spec.seed, "faults", "inline"),
+            horizon=max(4, 2 * len(spec.queries)),
+            faults_per_point=self.faults_per_point,
+            points=("codegen.compile", "reorg.online"),
+        )
+        injector = FaultInjector(schedule)
+        epoch = 0
+        with injector:
+            for index, query in enumerate(spec.parsed()):
+                report = engine.execute(query)
+                if not results_identical(report.result, expected[index]):
+                    raise OracleFailure(
+                        _describe_divergence(
+                            index,
+                            spec.queries[index],
+                            report.result,
+                            expected[index],
+                            mode,
+                        )
+                    )
+                epoch = check_engine_invariants(engine, epoch, mode)
+        fired = injector.fired_by_point()
+        if engine.executor.codegen_fallbacks != fired.get(
+            "codegen.compile", 0
+        ):
+            raise OracleFailure(
+                f"[{mode}] {fired.get('codegen.compile', 0)} compile "
+                f"fault(s) fired but the executor recorded "
+                f"{engine.executor.codegen_fallbacks} interpreted "
+                f"fallback(s) — a fault was swallowed silently"
+            )
+        if engine.reorg_aborts != fired.get("reorg.online", 0):
+            raise OracleFailure(
+                f"[{mode}] {fired.get('reorg.online', 0)} online-stitch "
+                f"abort(s) fired but the engine recorded "
+                f"{engine.reorg_aborts} — a fault was swallowed silently"
+            )
+        return fired
+
+    def _run_faulted_service(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> Dict[str, int]:
+        """Service under worker-death, timeout and offline-stitch faults.
+
+        Worker deaths and forced timeouts surface to the waiter as the
+        documented errors (and only those); every other query must be
+        answered identically.  Offline stitch aborts must be counted by
+        the scheduler and retried, never published partially.
+        """
+        mode = "faults-service"
+        service = H2OService(
+            config=self._adaptive_config(adaptation_mode="background"),
+            num_workers=self.workers,
+            max_pending=4 * max(1, len(spec.queries)),
+            name="oracle-fault-service",
+        )
+        schedule = random_schedule(
+            derive_rng(spec.seed, "faults", "service"),
+            horizon=max(4, len(spec.queries)),
+            faults_per_point=self.faults_per_point,
+            points=(
+                "codegen.compile",
+                "reorg.offline",
+                "service.worker",
+                "service.execute",
+            ),
+        )
+        injector = FaultInjector(schedule)
+        timeouts_seen = 0
+        deaths_seen = 0
+        try:
+            with injector:
+                service.register(spec.build_table())
+                engine = service.system.engine_for(spec.table_name)
+                epoch = 0
+                # Serial submission keeps occurrence indices (and thus
+                # which query each fault hits) deterministic.
+                for index, sql in enumerate(spec.queries):
+                    try:
+                        report = service.execute(sql, timeout=120.0)
+                    except QueryTimeoutError:
+                        timeouts_seen += 1
+                        continue
+                    except ServiceError as exc:
+                        if "worker died" not in str(exc):
+                            raise OracleFailure(
+                                f"[{mode}] query #{index} failed with an "
+                                f"undocumented service error: {exc!r}"
+                            )
+                        deaths_seen += 1
+                        continue
+                    except Exception as exc:  # noqa: BLE001
+                        raise OracleFailure(
+                            f"[{mode}] query #{index} raised an "
+                            f"undocumented exception: {exc!r}\n  sql: {sql}"
+                        )
+                    if not results_identical(report.result, expected[index]):
+                        raise OracleFailure(
+                            _describe_divergence(
+                                index,
+                                sql,
+                                report.result,
+                                expected[index],
+                                mode,
+                            )
+                        )
+                    epoch = check_engine_invariants(engine, epoch, mode)
+                # Let the background scheduler drain its candidates (and
+                # hit any scheduled offline-stitch faults) before the
+                # evidence audit; bounded wait, no fixed sleeps.
+                deadline = time.monotonic() + 10.0
+                while (
+                    engine.background_candidates()
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                check_engine_invariants(engine, epoch, mode)
+        finally:
+            service.close()
+        fired = injector.fired_by_point()
+        stats = service.stats.snapshot()
+        scheduler_stats = (
+            service.scheduler.stats() if service.scheduler else {}
+        )
+        audits: List[Tuple[str, int, int]] = [
+            (
+                "codegen.compile → executor.codegen_fallbacks",
+                fired.get("codegen.compile", 0),
+                engine.executor.codegen_fallbacks,
+            ),
+            (
+                "reorg.offline → scheduler.stitch_failures",
+                fired.get("reorg.offline", 0),
+                int(scheduler_stats.get("stitch_failures", 0)),
+            ),
+            (
+                "service.worker → stats.worker_deaths",
+                fired.get("service.worker", 0),
+                int(stats["worker_deaths"]),
+            ),
+            (
+                "service.worker → waiter ServiceError",
+                fired.get("service.worker", 0),
+                deaths_seen,
+            ),
+            (
+                "service.execute → waiter QueryTimeoutError",
+                fired.get("service.execute", 0),
+                timeouts_seen,
+            ),
+        ]
+        for description, injected, observed in audits:
+            if injected != observed:
+                raise OracleFailure(
+                    f"[{mode}] fault evidence mismatch ({description}): "
+                    f"{injected} fired but {observed} surfaced — a fault "
+                    f"was swallowed silently"
+                )
+        return fired
+
+
+def run_sequence(
+    seed: int,
+    *,
+    workers: int = 3,
+    with_faults: bool = True,
+    spec: Optional[CaseSpec] = None,
+) -> SequenceResult:
+    """Convenience wrapper: generate (or accept) a spec and run it."""
+    from .generate import random_case
+
+    oracle = DifferentialOracle(workers=workers, with_faults=with_faults)
+    return oracle.run_case(spec if spec is not None else random_case(seed))

@@ -1,0 +1,148 @@
+"""The testkit CLI.
+
+Green path::
+
+    PYTHONPATH=src python -m repro.testkit run --seqs 50 --seed 0
+
+runs 50 seeded oracle sequences (seeds ``seed .. seed+seqs-1``), each
+through every engine mode plus the two fault passes, and prints a
+one-line summary.  Red path: the first failing sequence is shrunk to a
+minimal spec and printed as a ≤10-line repro (seed + schema + SQL), and
+the process exits 1.
+
+Reproducing a printed case::
+
+    PYTHONPATH=src python -m repro.testkit repro --seed S --attrs A \
+        --rows R 'SELECT ...' 'SELECT ...'
+
+re-runs exactly that spec (same bytes, same faults) once, verbosely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .generate import CaseSpec, random_case
+from .oracle import DifferentialOracle, OracleFailure
+from .shrink import format_repro, shrink_case
+
+
+def _build_oracle(args: argparse.Namespace) -> DifferentialOracle:
+    return DifferentialOracle(
+        workers=args.workers,
+        with_faults=not args.no_faults,
+        faults_per_point=args.faults_per_point,
+    )
+
+
+def _fails_predicate(oracle: DifferentialOracle):
+    def fails(spec: CaseSpec) -> bool:
+        try:
+            oracle.run_case(spec)
+        except OracleFailure:
+            return True
+        return False
+
+    return fails
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    oracle = _build_oracle(args)
+    started = time.perf_counter()
+    total_queries = 0
+    for index in range(args.seqs):
+        seed = args.seed + index
+        spec = random_case(seed)
+        total_queries += len(spec.queries)
+        try:
+            result = oracle.run_case(spec)
+        except OracleFailure as failure:
+            print(f"FAIL seq {index} ({spec.describe()}):", file=sys.stderr)
+            print(f"  {failure}", file=sys.stderr)
+            print("shrinking...", file=sys.stderr)
+            small = shrink_case(
+                spec, _fails_predicate(oracle), max_checks=args.shrink_budget
+            )
+            print("minimal repro:", file=sys.stderr)
+            print(format_repro(small), file=sys.stderr)
+            return 1
+        if args.verbose:
+            print(f"ok   seq {index}: {result.describe()}")
+    elapsed = time.perf_counter() - started
+    print(
+        f"oracle: {args.seqs} sequences, {total_queries} queries, "
+        f"all modes identical ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    spec = CaseSpec(
+        seed=args.seed,
+        num_attrs=args.attrs,
+        num_rows=args.rows,
+        queries=tuple(args.queries),
+    )
+    oracle = _build_oracle(args)
+    try:
+        result = oracle.run_case(spec)
+    except OracleFailure as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        print(format_repro(spec), file=sys.stderr)
+        return 1
+    print(f"ok: {result.describe()}")
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="service worker threads in the concurrent mode (default 3)",
+    )
+    parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the fault-injection passes (differential modes only)",
+    )
+    parser.add_argument(
+        "--faults-per-point",
+        type=int,
+        default=2,
+        help="max scheduled faults per injection point (default 2)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description="H2O differential oracle + fault-injection harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run N seeded oracle sequences")
+    run.add_argument("--seqs", type=int, default=50)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--shrink-budget", type=int, default=60)
+    run.add_argument("-v", "--verbose", action="store_true")
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    repro = sub.add_parser("repro", help="re-run one explicit case spec")
+    repro.add_argument("--seed", type=int, required=True)
+    repro.add_argument("--attrs", type=int, required=True)
+    repro.add_argument("--rows", type=int, required=True)
+    repro.add_argument("queries", nargs="+", help="SQL text, one per query")
+    _add_common(repro)
+    repro.set_defaults(func=_cmd_repro)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Shrinking failing oracle cases to a minimal repro.
+
+Given a :class:`~repro.testkit.generate.CaseSpec` and a ``fails(spec)``
+predicate (re-running the oracle and answering "does this spec still
+fail?"), :func:`shrink_case` applies three reductions to a fixpoint:
+
+1. **query removal** — ddmin-style: drop halves, then quarters, ...,
+   then single queries, keeping any reduction that still fails;
+2. **schema trim** — shrink ``num_attrs`` down to the highest attribute
+   any surviving query actually references (unused columns change the
+   generated data stream, so this re-checks the predicate too);
+3. **row halving** — repeatedly halve ``num_rows`` (floor 1) while the
+   case still fails.
+
+The result is typically one or two queries over a handful of columns —
+small enough that :func:`format_repro` prints the whole thing in ≤10
+lines, including the one-liner that reproduces it:
+
+    python -m repro.testkit repro --seed S --attrs A --rows R 'SQL...'
+
+Shrinking is bounded (``max_checks``) so a flaky predicate cannot spin
+forever; every candidate evaluation is one full oracle run, so the
+budget is the dominant cost knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence, Tuple
+
+from .generate import CaseSpec, max_referenced_attr
+
+Predicate = Callable[[CaseSpec], bool]
+
+
+class _Budget:
+    """A simple evaluation counter shared across shrink passes."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def check(self, fails: Predicate, spec: CaseSpec) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        try:
+            return bool(fails(spec))
+        except Exception:
+            # A predicate that *errors* (rather than returning True)
+            # still counts as a failure for shrinking purposes: the
+            # case clearly does not pass.
+            return True
+
+
+def _shrink_queries(
+    spec: CaseSpec, fails: Predicate, budget: _Budget
+) -> CaseSpec:
+    """ddmin over the query tuple: drop chunks, keep failing variants."""
+    queries: List[str] = list(spec.queries)
+    chunk = max(1, len(queries) // 2)
+    while chunk >= 1 and len(queries) > 1 and not budget.spent():
+        reduced = False
+        start = 0
+        while start < len(queries) and not budget.spent():
+            candidate = queries[:start] + queries[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            trial = spec.with_queries(tuple(candidate))
+            if budget.check(fails, trial):
+                queries = candidate
+                spec = trial
+                reduced = True
+                # Do not advance: the element now at ``start`` is new.
+            else:
+                start += chunk
+        if not reduced:
+            chunk //= 2
+    return spec.with_queries(tuple(queries))
+
+
+def _shrink_attrs(
+    spec: CaseSpec, fails: Predicate, budget: _Budget
+) -> CaseSpec:
+    """Trim the schema to the highest attribute actually referenced."""
+    highest = max_referenced_attr(spec)
+    floor = max(1, highest if highest is not None else 1)
+    while spec.num_attrs > floor and not budget.spent():
+        trial = replace(spec, num_attrs=spec.num_attrs - 1)
+        if budget.check(fails, trial):
+            spec = trial
+        else:
+            break
+    return spec
+
+
+def _shrink_rows(
+    spec: CaseSpec, fails: Predicate, budget: _Budget
+) -> CaseSpec:
+    """Repeatedly halve the row count while the case still fails."""
+    while spec.num_rows > 1 and not budget.spent():
+        trial = replace(spec, num_rows=max(1, spec.num_rows // 2))
+        if trial.num_rows == spec.num_rows:
+            break
+        if budget.check(fails, trial):
+            spec = trial
+        else:
+            break
+    return spec
+
+
+def shrink_case(
+    spec: CaseSpec,
+    fails: Predicate,
+    *,
+    max_checks: int = 200,
+) -> CaseSpec:
+    """The smallest still-failing variant of ``spec`` found within budget.
+
+    ``fails`` must return True (or raise) for ``spec`` itself; if it
+    does not, the original spec is returned unchanged (nothing to
+    shrink — the failure was not reproducible, which the caller should
+    report rather than hide).
+    """
+    budget = _Budget(max_checks)
+    if not budget.check(fails, spec):
+        return spec
+    previous: Tuple[int, int, int] = (-1, -1, -1)
+    while not budget.spent():
+        spec = _shrink_queries(spec, fails, budget)
+        spec = _shrink_attrs(spec, fails, budget)
+        spec = _shrink_rows(spec, fails, budget)
+        signature = (len(spec.queries), spec.num_attrs, spec.num_rows)
+        if signature == previous:
+            break
+        previous = signature
+    return spec
+
+
+def format_repro(spec: CaseSpec, *, max_lines: int = 10) -> str:
+    """A ≤``max_lines``-line human-pasteable repro for ``spec``.
+
+    Line 1 is the one-liner that re-runs exactly this case; the rest
+    are the SQL statements (elided if the case somehow stayed large).
+    """
+    lines: List[str] = [
+        "# repro: python -m repro.testkit repro "
+        f"--seed {spec.seed} --attrs {spec.num_attrs} --rows {spec.num_rows}",
+        f"# {spec.describe()}",
+    ]
+    remaining = max_lines - len(lines)
+    shown: Sequence[str] = spec.queries
+    if len(shown) > remaining:
+        shown = list(spec.queries[: remaining - 1])
+        shown.append(f"# ... and {len(spec.queries) - len(shown)} more queries")
+    lines.extend(shown)
+    return "\n".join(lines[:max_lines])

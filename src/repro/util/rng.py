@@ -9,6 +9,7 @@ determined by the experiment seed.
 
 from __future__ import annotations
 
+import zlib
 from typing import Union
 
 import numpy as np
@@ -29,8 +30,13 @@ def derive_rng(rng: RngLike, *tags: object) -> np.random.Generator:
     The tags are hashed into the seed sequence, so the same parent seed +
     tags always yield the same child stream regardless of how many other
     streams were derived in between.
+
+    The tag hash is ``zlib.crc32`` — *not* Python's built-in ``hash()``,
+    which is salted per process (PYTHONHASHSEED) and would silently make
+    "derived" streams unreproducible across runs.
     """
     parent = ensure_rng(rng)
-    tag_seed = abs(hash(tuple(str(t) for t in tags))) % (2**32)
+    tag_bytes = "\x1f".join(str(t) for t in tags).encode("utf-8")
+    tag_seed = zlib.crc32(tag_bytes) & 0xFFFFFFFF
     child_seed = int(parent.integers(0, 2**32)) ^ tag_seed
     return np.random.default_rng(child_seed)

@@ -1,10 +1,30 @@
 """Shared fixtures: small deterministic tables and engine configs."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import EngineConfig
 from repro.storage import Schema, Table, generate_table, wide_schema
+
+
+def wait_until(predicate, timeout=30.0, interval=0.01, message="condition"):
+    """Bounded condition polling — the only sanctioned way to wait.
+
+    Returns as soon as ``predicate()`` is truthy; raises ``AssertionError``
+    after ``timeout`` seconds.  Tests must never synchronize on a fixed
+    ``time.sleep`` (a slow CI runner turns that into a flake); they wait
+    on an observable condition with a generous deadline instead.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    if predicate():
+        return
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")
 
 
 @pytest.fixture(scope="session")

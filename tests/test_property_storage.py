@@ -69,6 +69,43 @@ def test_covering_layouts_cover(case, data):
         assert set(needed) <= covered
 
 
+@given(random_tables(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_stitch_partition_roundtrips_to_row_scan(case, data):
+    """Stitching any column-group partition preserves the full scan.
+
+    Draw a random non-overlapping covering partition of the schema,
+    stitch each group from the table's layouts, then stitch the groups
+    back into one full-width (row) layout: the result must equal the
+    row-major matrix of the original columns, bit for bit and in tuple
+    order — the row-alignment invariant the reorganizer depends on.
+    """
+    table, columns = case
+    order = data.draw(st.permutations(list(ATTRS)))
+    remaining = list(order)
+    groups = []
+    while remaining:
+        size = data.draw(st.integers(min_value=1, max_value=len(remaining)))
+        groups.append(tuple(remaining[:size]))
+        remaining = remaining[size:]
+    stitched = [
+        stitch_group(table.layouts, group, table.schema)[0]
+        for group in groups
+    ]
+    # Each group individually carries its source columns unchanged.
+    for group, layout in zip(groups, stitched):
+        assert layout.attrs == group
+        for attr in group:
+            assert (layout.column(attr) == columns[attr]).all()
+    # The partition as a whole round-trips back to the row scan.
+    full, stats = stitch_group(
+        stitched, ATTRS, table.schema, full_width=True
+    )
+    row_matrix = np.column_stack([columns[attr] for attr in ATTRS])
+    assert (np.asarray(full.data) == row_matrix).all()
+    assert stats.bytes_written == full.nbytes
+
+
 @given(st.data())
 @settings(max_examples=40, deadline=None)
 def test_partitioning_cover_invariant(data):

@@ -12,20 +12,26 @@ Determinism note: the generated tables hold integer values, so every
 float aggregate (sums of |v| < 2**31 over a few thousand rows) stays
 far below 2**53 and is *exactly* order-independent — concurrent and
 serial runs must agree bit-for-bit, not just approximately.
+
+Timing discipline: no fixed sleeps for synchronization.  Every wait is
+a bounded poll on an observable condition (``conftest.wait_until``), so
+slow CI runners extend a deadline instead of flipping an outcome.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 import pytest
 
+from tests.conftest import wait_until
 from repro import H2OService, generate_table
 from repro.config import EngineConfig
 from repro.core.system import H2OSystem
 from repro.errors import ServiceOverloadedError
+
+pytestmark = pytest.mark.stress
 
 NUM_CLIENTS = 8
 NUM_SHAPES = 56  # 8 clients x 7 queries, > 50 mixed shapes
@@ -176,13 +182,14 @@ def test_background_adaptation_publishes_during_traffic():
     try:
         assert not errors, f"client thread failed: {errors[0]!r}"
         engine = service.system.engine_for("r")
-        deadline = time.monotonic() + 30.0
-        while (
-            engine.table.find_group(("a1", "a2", "a3", "a4")) is None
-            and engine.table.layout_epoch == 0
-            and time.monotonic() < deadline
-        ):
-            time.sleep(0.05)
+        wait_until(
+            lambda: (
+                engine.table.find_group(("a1", "a2", "a3", "a4")) is not None
+                or engine.table.layout_epoch >= 1
+            ),
+            timeout=30.0,
+            message="background layout publication",
+        )
         assert engine.table.layout_epoch >= 1, (
             "background adaptation never published a layout"
         )
@@ -269,6 +276,7 @@ def test_appends_concurrent_with_queries_never_tear():
     service.register(table)
     errors: list = []
     stop = threading.Event()
+    observed: list = []
 
     def writer() -> None:
         rng = np.random.default_rng(5)
@@ -280,14 +288,24 @@ def test_appends_concurrent_with_queries_never_tear():
                     )
                     for name in table.schema.names
                 }
+                seen_before = len(observed)
                 table.append_rows(rows)
-                time.sleep(0.002)
+                # Interleave by *condition*, not by timing: wait (bounded)
+                # until some reader completed a query after this append,
+                # so every batch boundary is actually observed under load.
+                try:
+                    wait_until(
+                        lambda: len(observed) > seen_before or stop.is_set(),
+                        timeout=10.0,
+                        interval=0.001,
+                        message="a reader observation between appends",
+                    )
+                except AssertionError:
+                    pass  # readers crashed/slow: appends still complete
         except BaseException as exc:  # pragma: no cover
             errors.append(exc)
         finally:
             stop.set()
-
-    observed: list = []
 
     def reader(worker_id: int) -> None:
         session = service.session(f"reader-{worker_id}", timeout=120.0)
