@@ -122,6 +122,26 @@ class EngineConfig:
     #: instead of failing the query.  Disable to surface codegen bugs
     #: loudly in tests; the fault-injection oracle exercises both.
     codegen_fallback: bool = True
+    #: Whether the engine runs a per-signature circuit breaker over the
+    #: codegen path: after ``breaker_threshold`` *consecutive* compile
+    #: failures for one query shape the breaker opens and the engine
+    #: serves that shape through the interpreted path without touching
+    #: the compiler, half-open-probing once per ``breaker_cooldown``
+    #: seconds (see repro/resilience/breaker.py and docs/resilience.md).
+    codegen_breaker: bool = True
+    #: Consecutive compile failures (per shape signature) that open the
+    #: codegen circuit breaker.
+    breaker_threshold: int = 3
+    #: Seconds (on the engine's injectable clock) the breaker stays open
+    #: before allowing a half-open probe compile.
+    breaker_cooldown: float = 1.0
+    #: Initial quarantine span, in *queries*, applied to a candidate
+    #: layout whose stitch aborted; doubles per consecutive failure up
+    #: to ``quarantine_cap`` so the advisor stops re-stitching a
+    #: poisoned group on every trigger.
+    quarantine_base: float = 4.0
+    #: Upper bound (in queries) on a candidate's quarantine span.
+    quarantine_cap: float = 256.0
     #: Minimum windowed pattern frequency needed before a candidate
     #: layout may be materialized (its expected net gain must also be
     #: positive, so this is a floor, not the whole amortization test).
@@ -189,6 +209,26 @@ class EngineConfig:
             raise AdaptationError(
                 "adaptation_mode must be 'inline' or 'background', got "
                 f"{self.adaptation_mode!r}"
+            )
+        if self.breaker_threshold < 1:
+            raise AdaptationError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise AdaptationError(
+                f"breaker_cooldown must be positive, got "
+                f"{self.breaker_cooldown}"
+            )
+        if self.quarantine_base <= 0:
+            raise AdaptationError(
+                f"quarantine_base must be positive, got "
+                f"{self.quarantine_base}"
+            )
+        if self.quarantine_cap < self.quarantine_base:
+            raise AdaptationError(
+                "quarantine_cap must be >= quarantine_base, got "
+                f"{self.quarantine_cap} < {self.quarantine_base}"
             )
         if not 0.0 < self.selectivity_drift_band <= 1.0:
             raise AdaptationError(

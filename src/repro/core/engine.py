@@ -73,8 +73,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..config import EngineConfig
-from ..errors import ExecutionError, LayoutError, ReorganizationError
+from ..errors import (
+    ExecutionError,
+    LayoutError,
+    QueryTimeoutError,
+    ReorganizationError,
+)
 from ..execution.executor import ExecStats, Executor
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.quarantine import QuarantineList
 from ..execution.result import QueryResult
 from ..execution.strategies import AccessPlan, enumerate_plans
 from ..sql.analyzer import QueryInfo, analyze_query
@@ -117,6 +124,25 @@ class QueryReport:
     cost_estimate: float = 0.0
     #: Layout epoch of the snapshot this query executed against.
     snapshot_epoch: int = 0
+    #: Degradation-ladder evidence (docs/resilience.md): the query was
+    #: answered correctly but through a fallback rung.
+    #: A compile failed and the interpreted path answered instead.
+    codegen_fallback: bool = False
+    #: The codegen circuit breaker was open for this shape, so no
+    #: compile was even attempted (interpreted path, by decision).
+    breaker_short_circuit: bool = False
+    #: An online reorganization triggered by this query aborted; the
+    #: candidate was quarantined and the query answered via planning.
+    reorg_aborted: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """True when any degradation rung absorbed a fault here."""
+        return (
+            self.codegen_fallback
+            or self.breaker_short_circuit
+            or self.reorg_aborted
+        )
 
     @property
     def reorg_seconds(self) -> float:
@@ -142,6 +168,8 @@ class _Prepared:
     #: Already answered under the lock (online reorganization).
     result: Optional[QueryResult] = None
     stats: Optional[ExecStats] = None
+    #: An online stitch triggered by this query aborted (quarantined).
+    reorg_aborted: bool = False
 
 
 class H2OEngine:
@@ -155,10 +183,19 @@ class H2OEngine:
     """
 
     def __init__(
-        self, table: Table, config: Optional[EngineConfig] = None
+        self,
+        table: Table,
+        config: Optional[EngineConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.table = table
         self.config = config or EngineConfig()
+        #: Injectable time source consumed by the codegen circuit
+        #: breaker (tests drive it with a fake clock; production uses
+        #: ``time.monotonic``).  The quarantine list deliberately does
+        #: *not* use it — its clock is the engine's query counter, so
+        #: backoff spans are measured in queries, not seconds.
+        self.clock: Callable[[], float] = clock or time.monotonic
         #: Guards every piece of shared mutable decision state: monitor,
         #: window, shift detector, candidate pool, selectivity
         #: estimator, plan-cache *policy* (the cache itself has its own
@@ -181,6 +218,27 @@ class H2OEngine:
         #: group was discarded, the query answered via plain planning).
         #: The testkit oracle matches this against its injected faults.
         self.reorg_aborts = 0
+        #: Queries aborted at a stage boundary because their deadline
+        #: had already passed (see :meth:`execute`'s ``deadline``).
+        self.deadline_aborts = 0
+        #: Per-signature codegen circuit breaker (docs/resilience.md):
+        #: after ``breaker_threshold`` consecutive compile failures for
+        #: one query shape the engine serves that shape interpreted
+        #: without touching the compiler, half-open-probing once per
+        #: ``breaker_cooldown`` seconds on :attr:`clock`.
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=self.clock,
+        )
+        #: Exponential-backoff quarantine for candidate layouts whose
+        #: stitches keep aborting.  Its clock is the query counter, so
+        #: spans are "skip for the next N queries".
+        self.quarantine = QuarantineList(
+            base=self.config.quarantine_base,
+            cap=self.config.quarantine_cap,
+            clock=lambda: float(self._query_counter),
+        )
         self._query_counter = 0
         self._shift_since_adaptation = False
         self._last_adaptation_snapshot: Optional[tuple] = None
@@ -195,12 +253,23 @@ class H2OEngine:
 
     # Public API ---------------------------------------------------------------
 
-    def execute(self, query: Union[Query, str]) -> QueryReport:
+    def execute(
+        self,
+        query: Union[Query, str],
+        deadline: Optional[float] = None,
+    ) -> QueryReport:
         """Answer one query, adapting storage and strategy on the way.
 
         Thread-safe: any number of threads may call this concurrently.
         Decision state is updated under the engine lock; the scan itself
         runs lock-free against the query's pinned layout snapshot.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  The
+        engine checks it at each stage boundary (before *prepare*,
+        before *run*, before *finish*) and raises
+        :class:`~repro.errors.QueryTimeoutError` rather than start a
+        stage it cannot finish in time — cooperative cancellation, not
+        preemption: a stage already underway runs to completion.
         """
         started = time.perf_counter()
         phases: Dict[str, float] = {}
@@ -212,6 +281,7 @@ class H2OEngine:
                 f"{query.table!r}"
             )
 
+        self._check_deadline(deadline, "prepare")
         with self.lock:
             prep = self._prepare(query, phases)
 
@@ -227,16 +297,34 @@ class H2OEngine:
         if prep.result is not None:
             result, stats = prep.result, prep.stats
         elif prep.entry is not None:
+            self._check_deadline(deadline, "run")
             result, stats = self._execute_fast(prep.entry, query, phases)
         else:
+            self._check_deadline(deadline, "run")
             result, stats = self._run_plan(prep, phases)
 
         seconds = time.perf_counter() - started
+        self._check_deadline(deadline, "finish")
         with self.lock:
             report = self._finish(
                 query, prep, result, stats, phases, seconds
             )
         return report
+
+    def _check_deadline(
+        self, deadline: Optional[float], stage: str
+    ) -> None:
+        """Abort (with an accounted :class:`QueryTimeoutError`) when the
+        query's deadline passed before ``stage`` could begin."""
+        if deadline is None:
+            return
+        if time.monotonic() < deadline:
+            return
+        with self.lock:
+            self.deadline_aborts += 1
+        raise QueryTimeoutError(
+            f"deadline passed before the {stage!r} stage could start"
+        )
 
     def run_sequence(self, queries) -> List[QueryReport]:
         """Execute a sequence of queries, returning all reports."""
@@ -322,7 +410,12 @@ class H2OEngine:
                 # the candidate stays in the pool so a later query can
                 # retry the stitch, and *this* query is answered through
                 # ordinary cost-based planning — degraded, never wrong.
+                # The candidate is quarantined under exponential backoff
+                # (docs/resilience.md) so the engine does not re-stitch
+                # a poisoned group on every matching query.
                 self.reorg_aborts += 1
+                self.quarantine.note_failure(candidate.attr_set)
+                prep.reorg_aborted = True
         prep.plan, prep.cost = self._choose_plan(snapshot, info, phases)
         return prep
 
@@ -371,6 +464,11 @@ class H2OEngine:
             window_size=prep.window_size,
             cost_estimate=stats.extras.get("cost_estimate", 0.0),
             snapshot_epoch=prep.snapshot.epoch,
+            codegen_fallback=bool(stats.extras.get("codegen_fallback")),
+            breaker_short_circuit=bool(
+                stats.extras.get("breaker_short_circuit")
+            ),
+            reorg_aborted=prep.reorg_aborted,
         )
         self.reports.append(report)
         return report
@@ -509,6 +607,10 @@ class H2OEngine:
                 continue
             if self.table.find_group(candidate.attrs) is not None:
                 continue
+            if self.quarantine.blocked(candidate.attr_set):
+                # A recent stitch of this group aborted; its backoff
+                # span (in queries) has not elapsed yet.
+                continue
             if candidate.frequency < self.config.amortization_threshold:
                 continue
             if candidate.expected_gain <= 0:
@@ -531,6 +633,9 @@ class H2OEngine:
         mechanism, so concurrent readers keep their pinned state.
         """
         outcome = self.reorganizer.online(self.table, candidate.attrs, info)
+        # The stitch completed: clear any earlier-failure backoff state
+        # so a future re-proposal of the same group starts fresh.
+        self.quarantine.note_success(candidate.attr_set)
         registered = True
         try:
             self.manager.register_group(
@@ -601,9 +706,32 @@ class H2OEngine:
         The plan's layouts belong to the pinned snapshot and are
         immutable; codegen goes through the (internally locked)
         operator cache.
+
+        The per-signature circuit breaker gates the codegen path here:
+        an open breaker short-circuits straight to the interpreted
+        operators (no compile attempted), and every compile outcome is
+        reported back so the breaker's state machine advances.
         """
         t1 = time.perf_counter()
-        result, stats = self.executor.run_plan(prep.info, prep.plan)
+        allow_codegen = True
+        signature = None
+        if (
+            self.config.use_codegen
+            and self.config.codegen_breaker
+            and prep.info.all_attrs
+        ):
+            signature = prep.info.query.shape_signature()
+            allow_codegen = self.breaker.allow(signature)
+        result, stats = self.executor.run_plan(
+            prep.info, prep.plan, allow_codegen=allow_codegen
+        )
+        if signature is not None:
+            if not allow_codegen:
+                stats.extras["breaker_short_circuit"] = True
+            elif stats.extras.get("codegen_fallback"):
+                self.breaker.record_failure(signature)
+            elif stats.used_codegen:
+                self.breaker.record_success(signature)
         elapsed = time.perf_counter() - t1
         phases["codegen"] = phases.get("codegen", 0.0) + stats.codegen_seconds
         phases["execute"] = phases.get("execute", 0.0) + (
@@ -682,6 +810,15 @@ class H2OEngine:
         """
         info = prep.info
         if not self.config.plan_cache or not info.all_attrs:
+            return
+        if stats.extras.get("codegen_fallback") or stats.extras.get(
+            "breaker_short_circuit"
+        ):
+            # Never cache a degraded execution: the fast lane would pin
+            # this shape to the interpreted plan (or replay a decision
+            # made while its breaker was open) and bypass the breaker's
+            # half-open probe on every future repeat.  Cold-path repeats
+            # keep probing until the shape compiles again.
             return
         plan = stats.extras.pop("access_plan", prep.plan)
         if plan is None:
@@ -823,7 +960,20 @@ class H2OEngine:
                 if c.expected_gain > 0
                 and c.frequency >= self.config.amortization_threshold
                 and self.table.find_group(c.attrs) is None
+                and not self.quarantine.blocked(c.attr_set)
             ]
+
+    def note_stitch_failure(self, candidate: CandidateLayout) -> None:
+        """Quarantine a candidate whose *background* stitch aborted.
+
+        Called by :class:`repro.service.AdaptationScheduler` when a
+        cycle's off-path stitch raises
+        :class:`~repro.errors.ReorganizationError` — the same backoff
+        policy as an online abort, so a poisoned group is not re-stitched
+        on every cycle.
+        """
+        with self.lock:
+            self.quarantine.note_failure(candidate.attr_set)
 
     def publish_group(self, group, seconds: float) -> bool:
         """Atomically adopt a background-built column group.
@@ -841,6 +991,7 @@ class H2OEngine:
                 )
             except LayoutError:
                 return False
+            self.quarantine.note_success(group.attr_set)
             self.candidates = [
                 c
                 for c in self.candidates
@@ -882,7 +1033,14 @@ class H2OEngine:
                 f"(shrinks={self.window.shrink_events}, "
                 f"grows={self.window.grow_events})",
                 f"  candidates pending: {len(self.candidates)} "
-                f"(reorg aborts: {self.reorg_aborts})",
+                f"(reorg aborts: {self.reorg_aborts}, "
+                f"quarantined: {len(self.quarantine.blocked_keys())})",
+                "  codegen breaker: open={} short_circuits={} "
+                "fallbacks={}".format(
+                    len(self.breaker.open_keys()),
+                    self.breaker.short_circuits,
+                    self.executor.codegen_fallbacks,
+                ),
                 f"  layouts created: {len(self.manager.creation_log)} "
                 f"({self.manager.creation_seconds():.3f}s)",
                 "  operator cache: size={} hits={} misses={} "

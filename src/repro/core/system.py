@@ -78,8 +78,18 @@ class H2OSystem:
 
     # Querying ------------------------------------------------------------------
 
-    def execute(self, query: Union[Query, str]) -> QueryReport:
-        """Route a query to its table's engine and execute it."""
+    def execute(
+        self,
+        query: Union[Query, str],
+        deadline: Optional[float] = None,
+    ) -> QueryReport:
+        """Route a query to its table's engine and execute it.
+
+        ``deadline`` (absolute ``time.monotonic()`` instant, or
+        ``None``) is passed straight through to
+        :meth:`H2OEngine.execute` — the service uses it so a ticket
+        whose deadline already passed never starts a new engine stage.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if query.table not in self.catalog:
@@ -88,7 +98,9 @@ class H2OSystem:
                 + (", ".join(sorted(self.catalog)) or "<none>")
                 + ")"
             )
-        return self.engine_for(query.table).execute(query)
+        return self.engine_for(query.table).execute(
+            query, deadline=deadline
+        )
 
     def run_sequence(self, queries) -> List[QueryReport]:
         return [self.execute(q) for q in queries]

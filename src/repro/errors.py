@@ -3,6 +3,21 @@
 Every error raised by the library derives from :class:`H2OError` so callers
 can catch library failures with a single ``except`` clause while still
 distinguishing the failure domain (SQL, storage, execution, codegen, ...).
+
+**Transient vs. permanent.**  The hierarchy also classifies every error
+by :attr:`H2OError.is_retryable`, the single signal the service's
+retry/backoff decision consumes (see
+:meth:`repro.service.H2OService._should_retry`):
+
+- *transient* (``is_retryable = True``) — the failure is a property of
+  the moment, not of the query: an aborted reorganization
+  (:class:`ReorganizationError`), a timeout (:class:`QueryTimeoutError`),
+  admission back-pressure (:class:`ServiceOverloadedError`).  Retrying
+  the identical query later can succeed;
+- *permanent* (``is_retryable = False``, the default) — the failure is a
+  property of the query or the schema (:class:`ParseError`,
+  :class:`AnalysisError`, :class:`SchemaError`, …): retrying the same
+  bytes can only fail the same way, so the error surfaces immediately.
 """
 
 from __future__ import annotations
@@ -10,6 +25,12 @@ from __future__ import annotations
 
 class H2OError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
+
+    #: Whether retrying the same operation later can plausibly succeed.
+    #: Permanent by default; transient subclasses override this.  The
+    #: service's worker requeues retryable failures (bounded attempts +
+    #: backoff) instead of forwarding them to the waiter.
+    is_retryable: bool = False
 
 
 class SQLError(H2OError):
@@ -79,6 +100,11 @@ class ReorganizationError(StorageError):
     swallowed abort is detected.
     """
 
+    #: Transient: a stitch aborted by a race or an injected fault can
+    #: succeed on retry — the candidate stays eligible (under the
+    #: engine's exponential-backoff quarantine, see docs/resilience.md).
+    is_retryable = True
+
 
 class ExecutionError(H2OError):
     """Raised when a physical plan cannot be executed, e.g. the available
@@ -122,6 +148,12 @@ class ServiceOverloadedError(ServiceError):
     counts the rejection; nothing was executed.
     """
 
+    #: Transient: back-pressure clears as in-flight queries drain.  The
+    #: service never auto-retries *submissions* (the bound exists to
+    #: shed load), but callers consuming :attr:`is_retryable` should
+    #: back off and resubmit.
+    is_retryable = True
+
 
 class QueryTimeoutError(ServiceError):
     """Raised when a submitted query does not finish within its timeout.
@@ -130,6 +162,12 @@ class QueryTimeoutError(ServiceError):
     runs; if it was already running, it completes in the background but
     its result is discarded.
     """
+
+    #: Transient: a timeout is a property of the moment's load, not of
+    #: the query.  The service's worker retries a timed-out execution
+    #: only while the ticket's own deadline has not passed — a real
+    #: deadline expiry still surfaces to the waiter immediately.
+    is_retryable = True
 
 
 class ServiceClosedError(ServiceError):

@@ -69,12 +69,22 @@ class Executor:
         self._fallback_lock = threading.Lock()
 
     def run_plan(
-        self, info: QueryInfo, plan: AccessPlan
+        self,
+        info: QueryInfo,
+        plan: AccessPlan,
+        allow_codegen: bool = True,
     ) -> Tuple[QueryResult, ExecStats]:
-        """Execute ``info`` with ``plan`` and report what happened."""
+        """Execute ``info`` with ``plan`` and report what happened.
+
+        ``allow_codegen=False`` forces the interpreted path even when
+        the configuration enables codegen — the engine's per-signature
+        circuit breaker uses it to short-circuit compilation for shapes
+        whose compiles keep failing (see docs/resilience.md); answers
+        are identical either way, only slower.
+        """
         if not info.all_attrs:
             return self._run_attribute_free(info, plan)
-        if self.config.use_codegen:
+        if self.config.use_codegen and allow_codegen:
             return self._run_generated(info, plan)
         return self._run_interpreted(info, plan)
 

@@ -1,0 +1,167 @@
+"""A per-key circuit breaker with a deterministic, injectable clock.
+
+The engine keys the breaker by *query shape signature* (the plan-cache
+key): compile failures are almost always a property of the query shape
+— a template bug, an unsupported expression, a poisoned operator — so
+one shape failing repeatedly must not cost every future repeat a doomed
+compile attempt, and one shape's breaker must not punish other shapes.
+
+State machine (classic three-state breaker):
+
+- **closed** — compile attempts allowed; ``record_failure`` counts
+  *consecutive* failures, ``record_success`` resets the count.  After
+  ``threshold`` consecutive failures the breaker **opens**;
+- **open** — :meth:`allow` returns ``False`` (a *short-circuit*: the
+  engine serves the interpreted plan without touching the compiler)
+  until ``cooldown`` seconds have passed on the injected clock;
+- **half-open** — after the cooldown, exactly one caller is let
+  through as a *probe*.  A successful probe closes the breaker; a
+  failed probe re-opens it for another full cooldown.  If the probe
+  never reports back (its worker died mid-flight), a fresh probe is
+  allowed once a further cooldown elapses, so a lost probe cannot wedge
+  the breaker open forever.
+
+All transitions happen under one lock; the clock is injectable
+(``clock=lambda: fake_now`` in tests) so the whole state machine is
+testable without a single ``sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _Entry:
+    __slots__ = ("state", "failures", "opened_at", "probe_started")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        #: Clock reading when the in-flight half-open probe was granted;
+        #: ``None`` when no probe is outstanding.
+        self.probe_started: Optional[float] = None
+
+
+class CircuitBreaker:
+    """Keyed three-state breaker (thread-safe, clock-injectable)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[Hashable, _Entry] = {}
+        #: Monotonic counters (telemetry; read via :meth:`snapshot`).
+        self.opens = 0
+        self.closes = 0
+        self.short_circuits = 0
+        self.probes = 0
+
+    # Decisions ------------------------------------------------------------
+
+    def allow(self, key: Hashable) -> bool:
+        """Whether a compile attempt for ``key`` may proceed now.
+
+        Returns ``True`` for closed keys and for the single half-open
+        probe; ``False`` (a counted short-circuit) while open or while
+        another probe is outstanding.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state == CLOSED:
+                return True
+            now = self.clock()
+            if entry.state == OPEN:
+                if now >= entry.opened_at + self.cooldown:
+                    entry.state = HALF_OPEN
+                    entry.probe_started = now
+                    self.probes += 1
+                    return True
+                self.short_circuits += 1
+                return False
+            # HALF_OPEN: one probe at a time — but a probe that never
+            # reported back (lost worker) expires after a cooldown.
+            if entry.probe_started is not None and now < (
+                entry.probe_started + self.cooldown
+            ):
+                self.short_circuits += 1
+                return False
+            entry.probe_started = now
+            self.probes += 1
+            return True
+
+    # Outcomes -------------------------------------------------------------
+
+    def record_success(self, key: Hashable) -> None:
+        """A compile for ``key`` succeeded: reset to closed."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None and entry.state != CLOSED:
+                self.closes += 1
+
+    def record_failure(self, key: Hashable) -> None:
+        """A compile for ``key`` failed: count, maybe open / re-open."""
+        with self._lock:
+            entry = self._entries.setdefault(key, _Entry())
+            entry.failures += 1
+            if entry.state == HALF_OPEN:
+                # The probe failed: re-open for another full cooldown.
+                entry.state = OPEN
+                entry.opened_at = self.clock()
+                entry.probe_started = None
+                self.opens += 1
+                return
+            if entry.state == CLOSED and entry.failures >= self.threshold:
+                entry.state = OPEN
+                entry.opened_at = self.clock()
+                self.opens += 1
+
+    # Introspection --------------------------------------------------------
+
+    def state(self, key: Hashable) -> str:
+        """The stored state for ``key`` (transitions happen in allow)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return CLOSED if entry is None else entry.state
+
+    def open_keys(self) -> List[Hashable]:
+        """Keys currently open or half-open (i.e. degraded shapes)."""
+        with self._lock:
+            return [
+                key
+                for key, entry in self._entries.items()
+                if entry.state != CLOSED
+            ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Defensive copy of breaker telemetry for health reports."""
+        with self._lock:
+            open_keys = tuple(
+                str(key)
+                for key, entry in self._entries.items()
+                if entry.state != CLOSED
+            )
+            return {
+                "tracked": len(self._entries),
+                "open": open_keys,
+                "opens": self.opens,
+                "closes": self.closes,
+                "short_circuits": self.short_circuits,
+                "probes": self.probes,
+            }

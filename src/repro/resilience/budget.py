@@ -1,0 +1,70 @@
+"""A token bucket: bounded-rate budgets for self-healing actions.
+
+The worker watchdog replaces dead workers — but a worker dying in a
+tight loop (a poisoned query resubmitted forever, a broken native
+library) must not turn the healer into a fork bomb.  The bucket grants
+``burst`` immediate actions and refills continuously at
+``burst / window`` tokens per second on the injected clock; when the
+bucket is dry the action is *deferred*, not dropped — the watchdog
+simply retries on its next tick, so the pool still converges back to
+full strength, just no faster than the budget allows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (thread-safe, clock-injectable)."""
+
+    def __init__(
+        self,
+        burst: int,
+        window: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.burst = burst
+        self.window = window
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._last = clock()
+        #: Telemetry: granted and deferred takes (monotonic).
+        self.granted = 0
+        self.deferred = 0
+
+    def try_take(self) -> bool:
+        """Take one token if available; ``False`` defers the action."""
+        with self._lock:
+            now = self.clock()
+            elapsed = max(0.0, now - self._last)
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + elapsed * (self.burst / self.window),
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.granted += 1
+                return True
+            self.deferred += 1
+            return False
+
+    def available(self) -> float:
+        """Current (refreshed) token count — for tests and reports."""
+        with self._lock:
+            now = self.clock()
+            elapsed = max(0.0, now - self._last)
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + elapsed * (self.burst / self.window),
+            )
+            self._last = now
+            return self._tokens

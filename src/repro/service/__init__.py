@@ -14,12 +14,22 @@ into a multi-client service:
 - :class:`~repro.service.stats.ServiceStats` — thread-safe counters and
   latency percentiles.
 
+The service is *self-healing* (docs/resilience.md): a worker watchdog
+prunes dead threads and respawns them under a token-bucket budget,
+tickets whose worker died (or whose failure was transient, see
+``H2OError.is_retryable``) are requeued within an attempt budget and
+deadline, an overload ladder pauses background adaptation before
+queries are shed, and :meth:`~repro.service.service.H2OService.health`
+exposes the whole degradation state as one immutable
+:class:`~repro.resilience.health.HealthReport`.
+
 Correctness rests on snapshot-isolated layout reads
 (:class:`~repro.storage.relation.LayoutSnapshot`): queries plan and scan
 against an immutable snapshot while reorganization publishes new layouts
 via a single atomic epoch bump.
 """
 
+from ..resilience.health import HealthReport
 from .admission import AdmissionController
 from .scheduler import AdaptationScheduler
 from .service import H2OService, QueryFuture
@@ -30,6 +40,7 @@ __all__ = [
     "AdmissionController",
     "AdaptationScheduler",
     "H2OService",
+    "HealthReport",
     "QueryFuture",
     "Session",
     "ServiceStats",

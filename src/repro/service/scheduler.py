@@ -48,6 +48,11 @@ class AdaptationScheduler:
         self.poll_interval = poll_interval
         self._wake = threading.Event()
         self._stop = threading.Event()
+        #: Overload ladder (docs/resilience.md): the service pauses
+        #: background stitching *before* it starts shedding queries —
+        #: adaptation is an optimization and must yield to load.
+        self._paused = threading.Event()
+        self._pause_lock = threading.Lock()
         self._attached: Set[int] = set()
         self._thread = threading.Thread(
             target=self._loop, name=name, daemon=True
@@ -62,6 +67,8 @@ class AdaptationScheduler:
         #: the testkit oracle matches this count against its injected
         #: faults so an abort can never be swallowed silently.
         self.stitch_failures = 0
+        #: How many times the overload ladder paused this scheduler.
+        self.pauses = 0
 
     # Lifecycle ------------------------------------------------------------
 
@@ -82,6 +89,27 @@ class AdaptationScheduler:
     @property
     def running(self) -> bool:
         return self._thread.is_alive() and not self._stop.is_set()
+
+    # Overload ladder --------------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend adaptation cycles (idempotent, counted once per
+        pause).  In-flight stitches finish; no new cycle starts."""
+        with self._pause_lock:
+            if not self._paused.is_set():
+                self._paused.set()
+                self.pauses += 1
+
+    def resume(self) -> None:
+        """Lift an overload pause (idempotent)."""
+        with self._pause_lock:
+            if self._paused.is_set():
+                self._paused.clear()
+                self._wake.set()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused.is_set()
 
     # Signalling -----------------------------------------------------------
 
@@ -114,6 +142,9 @@ class AdaptationScheduler:
 
         Also callable synchronously (tests, draining on shutdown).
         """
+        if self._paused.is_set():
+            # Overloaded: adaptation yields to query traffic entirely.
+            return 0
         published = 0
         self.cycles += 1
         for engine in self.system.engines():
@@ -140,8 +171,12 @@ class AdaptationScheduler:
                 except ReorganizationError:
                     # The stitch died before producing a group: nothing
                     # was published, the candidate stays eligible, and
-                    # the next cycle retries from a fresh snapshot.
+                    # the next cycle retries from a fresh snapshot —
+                    # under the engine's exponential-backoff quarantine,
+                    # so a persistently poisoned group thins out instead
+                    # of failing every cycle.
                     self.stitch_failures += 1
+                    engine.note_stitch_failure(candidate)
                     continue
                 if engine.publish_group(outcome.group, outcome.seconds):
                     self.groups_published += 1
@@ -159,4 +194,6 @@ class AdaptationScheduler:
             "groups_discarded": self.groups_discarded,
             "stitch_failures": self.stitch_failures,
             "running": self.running,
+            "paused": self.paused,
+            "pauses": self.pauses,
         }

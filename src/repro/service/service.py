@@ -41,6 +41,8 @@ from ..errors import (
     ServiceError,
     ServiceOverloadedError,
 )
+from ..resilience.budget import TokenBucket
+from ..resilience.health import HealthReport
 from ..sql.parser import parse_query
 from ..util.faultpoints import fault_point
 from ..sql.query import Query
@@ -71,6 +73,7 @@ class _QueryTicket:
         "report",
         "exception",
         "abandoned",
+        "attempts",
     )
 
     def __init__(
@@ -91,6 +94,9 @@ class _QueryTicket:
         #: The waiter gave up (timeout) while the query was running;
         #: the worker finishes it but discards the outcome silently.
         self.abandoned = False
+        #: Execution attempts started so far (the retry ladder caps
+        #: this at the service's ``max_query_attempts``).
+        self.attempts = 0
 
     # Worker side ---------------------------------------------------------
 
@@ -113,6 +119,19 @@ class _QueryTicket:
             self.state = _FAILED
             self.exception = exc
         self.event.set()
+
+    def reset_for_retry(self) -> bool:
+        """RUNNING → PENDING for another attempt; False once finished.
+
+        The ticket object survives its failed attempt (same admission
+        slot, same deadline, same waiter) — only the state machine is
+        rewound so a worker can pick it up again.
+        """
+        with self.lock:
+            if self.state != _RUNNING or self.event.is_set():
+                return False
+            self.state = _PENDING
+            return True
 
     # Waiter side ---------------------------------------------------------
 
@@ -188,7 +207,31 @@ class QueryFuture:
                 f"query was cancelled before execution: "
                 f"{ticket.query.to_sql()}"
             )
-        raise exception
+        # Never raise the worker's stored exception object itself:
+        # ``result()`` may be called from several threads, and a raised
+        # exception mutates (``__traceback__``) — sharing one instance
+        # across waiters cross-contaminates their tracebacks.  Each
+        # waiter gets a fresh clone chained (``from``) to the original,
+        # so ``__cause__`` still carries the worker-side story.
+        raise _rebuild_exception(exception) from exception
+
+
+def _rebuild_exception(exc: BaseException) -> BaseException:
+    """A fresh per-waiter instance of the worker-side exception.
+
+    ``copy.copy`` preserves the concrete type and attributes for the
+    common dataclass-style errors; exotic exceptions whose copy fails
+    degrade to a :class:`ServiceError` wrapper — the original is still
+    attached as ``__cause__`` by the caller's ``raise ... from``.
+    """
+    import copy
+
+    try:
+        clone = copy.copy(exc)
+        clone.__traceback__ = None
+        return clone
+    except Exception:  # pragma: no cover - exotic uncopyable errors
+        return ServiceError(f"query failed: {exc!r}")
 
 
 class H2OService:
@@ -204,6 +247,9 @@ class H2OService:
         num_workers: int = 4,
         max_pending: int = 64,
         default_timeout: Optional[float] = None,
+        max_query_attempts: int = 3,
+        retry_backoff: float = 0.005,
+        watchdog_interval: float = 0.05,
         name: str = "h2o-service",
     ) -> None:
         if system is not None and config is not None:
@@ -215,8 +261,19 @@ class H2OService:
             raise ValueError(
                 f"num_workers must be >= 0, got {num_workers}"
             )
+        if max_query_attempts < 1:
+            raise ValueError(
+                f"max_query_attempts must be >= 1, got "
+                f"{max_query_attempts}"
+            )
         self.name = name
         self.default_timeout = default_timeout
+        #: Retry ladder: total execution attempts one ticket may start
+        #: (first try included) before its failure surfaces.
+        self.max_query_attempts = max_query_attempts
+        #: Base sleep before a retryable failure's next attempt
+        #: (exponential per attempt, capped in :meth:`_retry_delay`).
+        self.retry_backoff = retry_backoff
         self.admission = AdmissionController(max_pending)
         self.stats = ServiceStats()
         self._queue: "queue.SimpleQueue[Optional[_QueryTicket]]" = (
@@ -228,12 +285,41 @@ class H2OService:
         self._worker_lock = threading.Lock()
         self._worker_ids = itertools.count()
         self._workers: List[threading.Thread] = []
+        #: Pool strength the watchdog restores after deaths.
+        self._target_workers = num_workers
+        #: Respawn budget: a dying-in-a-loop pool must not spin the
+        #: watchdog into a thread-creation storm.  Continuous refill,
+        #: generous burst — steady-state deaths are absorbed, a
+        #: pathological crash loop is throttled, never starved.
+        self._respawn_budget = TokenBucket(
+            burst=max(4, 2 * num_workers), window=1.0
+        )
         for _ in range(num_workers):
             self._spawn_worker()
         self.scheduler: Optional[AdaptationScheduler] = None
         if self.system.config.adaptation_mode == "background":
             self.scheduler = AdaptationScheduler(self.system)
             self.scheduler.start()
+        #: Overload ladder thresholds, as fractions of admission
+        #: capacity: above ``_pause_fraction`` in-system queries the
+        #: scheduler is paused (adaptation yields to traffic); below
+        #: ``_resume_fraction`` it resumes.  The hysteresis gap stops
+        #: flapping at the boundary.
+        self._pause_fraction = 0.75
+        self._resume_fraction = 0.5
+        #: Watchdog: periodically prunes dead worker threads and spawns
+        #: replacements up to the respawn budget.  Only needed when the
+        #: service actually owns workers.
+        self._watchdog_wake = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if num_workers > 0:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name=f"{name}-watchdog",
+                daemon=True,
+            )
+            self._watchdog_interval = watchdog_interval
+            self._watchdog.start()
 
     # Catalog -------------------------------------------------------------
 
@@ -307,12 +393,30 @@ class H2OService:
                 f"({self.admission.capacity} queries in flight); "
                 "retry later"
             )
+        self._note_load()
         deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
         ticket = _QueryTicket(query, session, deadline)
         self._queue.put(ticket)
         return QueryFuture(ticket, self)
+
+    def _note_load(self) -> None:
+        """Advance the overload ladder on every load change.
+
+        Before the admission bound starts shedding queries, the service
+        sheds *optional* work: above ``_pause_fraction`` of capacity
+        the background adaptation scheduler is paused, below
+        ``_resume_fraction`` it resumes (hysteresis stops flapping).
+        Queries always win over adaptation.
+        """
+        if self.scheduler is None:
+            return
+        fraction = self.admission.in_flight / self.admission.capacity
+        if fraction >= self._pause_fraction:
+            self.scheduler.pause()
+        elif fraction <= self._resume_fraction:
+            self.scheduler.resume()
 
     def execute(
         self,
@@ -340,8 +444,10 @@ class H2OService:
 
     # Worker loop ---------------------------------------------------------
 
-    def _spawn_worker(self) -> threading.Thread:
-        """Start one worker thread (initial pool or death replacement)."""
+    def _spawn_worker(self) -> Optional[threading.Thread]:
+        """Start one worker thread (initial pool or watchdog respawn)."""
+        if self._closed.is_set():
+            return None
         worker = threading.Thread(
             target=self._worker_loop,
             name=f"{self.name}-worker-{next(self._worker_ids)}",
@@ -352,80 +458,198 @@ class H2OService:
         worker.start()
         return worker
 
+    # Watchdog -------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """Keep the pool at target strength until the service closes."""
+        while not self._closed.is_set():
+            self._watchdog_wake.wait(self._watchdog_interval)
+            self._watchdog_wake.clear()
+            if self._closed.is_set():
+                return
+            self._heal_pool()
+
+    def _heal_pool(self) -> int:
+        """Prune dead threads and respawn the deficit; returns spawns.
+
+        Respawns draw from a token bucket so a crash-looping pool is
+        throttled (the deficit is retried on the next tick) instead of
+        spinning up threads as fast as they die.
+        """
+        with self._worker_lock:
+            self._workers = [w for w in self._workers if w.is_alive()]
+            deficit = self._target_workers - len(self._workers)
+        spawned = 0
+        for _ in range(max(0, deficit)):
+            if self._closed.is_set():
+                break
+            if not self._respawn_budget.try_take():
+                break  # budget exhausted; next tick retries
+            if self._spawn_worker() is None:
+                break
+            self.stats.note_worker_respawn()
+            spawned += 1
+        return spawned
+
+    def alive_workers(self) -> int:
+        """How many worker threads are currently alive."""
+        with self._worker_lock:
+            return sum(1 for w in self._workers if w.is_alive())
+
     def _worker_loop(self) -> None:
         while True:
             ticket = self._queue.get()
             if ticket is None:  # shutdown sentinel
                 return
             try:
-                try:
-                    self._run_ticket(ticket)
-                finally:
-                    self.admission.release()
+                requeued = self._run_ticket(ticket)
             except BaseException as exc:  # noqa: BLE001 - worker death
                 # An exception escaped the per-ticket scope: this worker
-                # thread is dying.  Fail the waiter with the documented
-                # ServiceError (never leave it hanging), count the
-                # death, and replace the thread so capacity recovers.
-                self._on_worker_death(ticket, exc)
+                # thread is dying.  The *ticket* outlives the thread —
+                # it is requeued for another attempt when its budget
+                # and deadline allow; otherwise the waiter is failed
+                # (never left hanging).  The watchdog restores pool
+                # strength; this thread just exits.
+                requeued = self._on_worker_death(ticket, exc)
+                if not requeued:
+                    self._release_slot()
+                self._watchdog_wake.set()
                 return
+            if not requeued:
+                self._release_slot()
+
+    def _release_slot(self) -> None:
+        """Return an admission slot and advance the overload ladder."""
+        self.admission.release()
+        self._note_load()
 
     def _on_worker_death(
         self, ticket: _QueryTicket, exc: BaseException
-    ) -> None:
+    ) -> bool:
+        """Handle a dying worker's in-flight ticket; True if requeued."""
         self.stats.note_worker_death()
+        with ticket.lock:
+            was_running = ticket.state == _RUNNING
+        if (
+            was_running
+            and not self._closed.is_set()
+            and not ticket.abandoned
+            and ticket.attempts < self.max_query_attempts
+            and not self._deadline_passed(ticket)
+            and ticket.reset_for_retry()
+        ):
+            # The query never completed (the death fault fires before
+            # execution starts; a mid-scan death never published
+            # results — snapshots are read-only), so re-running it is
+            # safe.  Same admission slot, same deadline, same waiter.
+            self.stats.note_requeued(death=True)
+            self._queue.put(ticket)
+            return True
         if not ticket.event.is_set():
-            ticket.fail(
-                ServiceError(
-                    f"worker died while serving query: {exc!r} "
-                    f"({ticket.query.to_sql()})"
-                )
+            failure = ServiceError(
+                f"worker died while serving query: {exc!r} "
+                f"({ticket.query.to_sql()})"
             )
-            self.stats.note_failed()
+            failure.__cause__ = exc
+            ticket.fail(failure)
+            self.stats.note_failed(started=was_running)
             if ticket.session is not None:
                 ticket.session._note("failed")
-        if not self._closed.is_set():
-            self._spawn_worker()
+        elif was_running:
+            # Already resolved elsewhere; keep the in-flight gauge
+            # honest for the attempt this thread had started.
+            self.stats.note_failed()
+        return False
 
-    def _run_ticket(self, ticket: _QueryTicket) -> None:
+    @staticmethod
+    def _deadline_passed(ticket: _QueryTicket) -> bool:
+        return (
+            ticket.deadline is not None
+            and time.monotonic() >= ticket.deadline
+        )
+
+    def _should_retry(
+        self, ticket: _QueryTicket, exc: BaseException
+    ) -> bool:
+        """Whether a failed attempt goes back on the queue.
+
+        Only *transient* failures (``exc.is_retryable``, see
+        repro/errors.py) are retried, and only while the ticket has
+        attempt budget left, its deadline has not passed, the waiter
+        has not given up, and the service is still open.  Permanent
+        errors (parse/analysis/schema) surface immediately — retrying
+        the same bytes can only fail the same way.
+        """
+        if self._closed.is_set() or ticket.abandoned:
+            return False
+        if ticket.event.is_set():
+            return False
+        if ticket.attempts >= self.max_query_attempts:
+            return False
+        if self._deadline_passed(ticket):
+            return False
+        return bool(getattr(exc, "is_retryable", False))
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Exponential backoff (capped) before attempt ``attempt+1``."""
+        return min(
+            0.1, self.retry_backoff * (2.0 ** max(0, attempt - 1))
+        )
+
+    def _run_ticket(self, ticket: _QueryTicket) -> bool:
+        """Run one execution attempt; True when the ticket was requeued
+        (its admission slot is then kept for the next attempt)."""
         if self._closed.is_set():
             ticket.fail(
                 ServiceClosedError(f"service {self.name!r} is closed")
             )
             self.stats.note_failed(started=False)
-            return
-        if (
-            ticket.deadline is not None
-            and time.monotonic() > ticket.deadline
-        ):
+            return False
+        if self._deadline_passed(ticket):
             # Expired while queued: never start it.
             if ticket.cancel():
                 self.stats.note_cancelled()
-            return
+            return False
         if not ticket.mark_running():
-            return  # cancelled by the waiter
+            return False  # cancelled by the waiter
+        ticket.attempts += 1
         self.stats.note_started()
         started = time.monotonic()
         # Injectable failure site: an abrupt worker death.  Deliberately
         # *outside* the per-query exception scope, so the raise escapes
-        # to the worker loop's death handler (waiter gets ServiceError,
-        # the thread is replaced).
+        # to the worker loop's death handler (the ticket is requeued or
+        # failed there; the watchdog replaces the thread).
         fault_point("service.worker", query=ticket.query.to_sql())
         try:
             # Injectable failure site: a per-query failure inside the
             # execution scope (the testkit injects QueryTimeoutError to
-            # model a forced timeout); forwarded to the waiter below.
+            # model a forced timeout); retried below when transient.
             fault_point("service.execute", query=ticket.query.to_sql())
-            report = self.system.execute(ticket.query)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            report = self.system.execute(
+                ticket.query, deadline=ticket.deadline
+            )
+        except BaseException as exc:  # noqa: BLE001 - retried/forwarded
+            if self._should_retry(ticket, exc):
+                delay = self._retry_delay(ticket.attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
+                if ticket.reset_for_retry():
+                    self.stats.note_requeued(death=False)
+                    self._queue.put(ticket)
+                    return True
             ticket.fail(exc)
             self.stats.note_failed()
             if ticket.session is not None:
                 ticket.session._note("failed")
-            return
+            return False
         ticket.complete(report)
         if not ticket.abandoned:
             self.stats.note_completed(time.monotonic() - started)
+            if report.degraded:
+                # Correct answer through a fallback rung (codegen
+                # fallback, breaker short-circuit, or aborted online
+                # reorg) — visible in stats and health, never silent.
+                self.stats.note_degraded()
             if ticket.session is not None:
                 ticket.session._note("completed")
         else:
@@ -433,6 +657,7 @@ class H2OService:
             # latency sample would skew percentiles, so only count the
             # completion against the in-flight gauge.
             self.stats.note_failed()
+        return False
 
     # Internal accounting (called by futures) ------------------------------
 
@@ -457,6 +682,9 @@ class H2OService:
         if self._closed.is_set():
             return
         self._closed.set()
+        self._watchdog_wake.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout)
         with self._worker_lock:
             workers = list(self._workers)
         for _ in workers:
@@ -498,6 +726,82 @@ class H2OService:
 
     # Reporting ------------------------------------------------------------
 
+    def health(self) -> HealthReport:
+        """One consistent snapshot of the whole degradation ladder.
+
+        Assembled from the worker pool, the admission controller, the
+        scheduler, and every engine's breaker/quarantine/fallback
+        counters — see :mod:`repro.resilience.health` for the status
+        semantics (``healthy`` / ``degraded`` / ``closed``).
+        """
+        snap = self.stats.snapshot()
+        engines = self.system.engines()
+        breaker_states = {
+            e.table.name: e.breaker.snapshot() for e in engines
+        }
+        quarantines = {
+            e.table.name: e.quarantine.snapshot() for e in engines
+        }
+        codegen_fallbacks = sum(
+            e.executor.codegen_fallbacks for e in engines
+        )
+        breaker_short_circuits = sum(
+            e.breaker.short_circuits for e in engines
+        )
+        reorg_aborts = sum(e.reorg_aborts for e in engines)
+        deadline_aborts = sum(e.deadline_aborts for e in engines)
+        workers_alive = self.alive_workers()
+        scheduler_paused = (
+            self.scheduler.paused if self.scheduler is not None else False
+        )
+        scheduler_pauses = (
+            self.scheduler.pauses if self.scheduler is not None else 0
+        )
+        stitch_failures = (
+            self.scheduler.stitch_failures
+            if self.scheduler is not None
+            else 0
+        )
+        open_breakers = any(
+            snapshot["open"] for snapshot in breaker_states.values()
+        )
+        blocked = any(
+            snapshot["blocked"] for snapshot in quarantines.values()
+        )
+        if self._closed.is_set():
+            status = "closed"
+        elif (
+            workers_alive < self._target_workers
+            or open_breakers
+            or blocked
+            or scheduler_paused
+        ):
+            status = "degraded"
+        else:
+            status = "healthy"
+        return HealthReport(
+            status=status,
+            workers_alive=workers_alive,
+            workers_expected=self._target_workers,
+            worker_deaths=int(snap["worker_deaths"]),
+            worker_respawns=int(snap["worker_respawns"]),
+            queue_depth=self._queue.qsize(),
+            in_flight=self.admission.in_flight,
+            capacity=self.admission.capacity,
+            requeued_deaths=int(snap["requeued_deaths"]),
+            retried_failures=int(snap["retried_failures"]),
+            degraded_queries=int(snap["degraded"]),
+            scheduler_paused=scheduler_paused,
+            scheduler_pauses=scheduler_pauses,
+            stitch_failures=stitch_failures,
+            breaker_states=breaker_states,
+            quarantines=quarantines,
+            codegen_fallbacks=codegen_fallbacks,
+            breaker_short_circuits=breaker_short_circuits,
+            reorg_aborts=reorg_aborts,
+            deadline_aborts=deadline_aborts,
+        )
+
     def describe(self) -> str:
         """Multi-line status: service counters + per-engine summaries."""
         snap = self.stats.snapshot()
@@ -517,6 +821,14 @@ class H2OService:
             f"  latency: p50={snap['p50_ms']:.2f}ms "
             f"p99={snap['p99_ms']:.2f}ms "
             f"(peak concurrency {int(snap['peak_concurrency'])})",
+            "  resilience: deaths={} respawns={} requeued={} "
+            "retried={} degraded={}".format(
+                int(snap["worker_deaths"]),
+                int(snap["worker_respawns"]),
+                int(snap["requeued_deaths"]),
+                int(snap["retried_failures"]),
+                int(snap["degraded"]),
+            ),
         ]
         if self.scheduler is not None:
             lines.append(f"  adaptation: {self.scheduler.stats()}")

@@ -47,6 +47,23 @@ class ServiceStats:
         #: the service is closing.  The testkit oracle matches this
         #: count against its injected worker-death faults.
         self.worker_deaths = 0
+        #: Replacement workers spawned by the watchdog to restore the
+        #: pool to its target strength after deaths.
+        self.worker_respawns = 0
+        #: Tickets put back on the queue because their worker died
+        #: mid-flight (the ticket survives the thread: same admission
+        #: slot, attempt counter bumped).  The chaos oracle matches this
+        #: against its injected ``service.worker`` faults.
+        self.requeued_deaths = 0
+        #: Tickets requeued after a *retryable* per-query failure
+        #: (``exc.is_retryable``, see repro/errors.py) within their
+        #: attempt budget and deadline.  Matched against injected
+        #: ``service.execute`` faults.
+        self.retried_failures = 0
+        #: Queries answered correctly but through a degradation rung
+        #: (``QueryReport.degraded``): codegen fallback, breaker
+        #: short-circuit, or an aborted online reorganization.
+        self.degraded = 0
         #: Peak number of queries executing simultaneously (a direct
         #: measure of scan overlap across workers).
         self.peak_concurrency = 0
@@ -87,6 +104,29 @@ class ServiceStats:
         with self._lock:
             self.worker_deaths += 1
 
+    def note_worker_respawn(self) -> None:
+        with self._lock:
+            self.worker_respawns += 1
+
+    def note_requeued(self, death: bool) -> None:
+        """A started ticket went back on the queue for another attempt.
+
+        Decrements the in-flight gauge (the ticket re-enters through
+        ``note_started`` on its next attempt) and records which retry
+        rung fired: a worker death (``death=True``) or a retryable
+        per-query failure.
+        """
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            if death:
+                self.requeued_deaths += 1
+            else:
+                self.retried_failures += 1
+
+    def note_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
     def note_timeout(self) -> None:
         with self._lock:
             self.timeouts += 1
@@ -109,6 +149,10 @@ class ServiceStats:
                 "failed": self.failed,
                 "cancelled": self.cancelled,
                 "worker_deaths": self.worker_deaths,
+                "worker_respawns": self.worker_respawns,
+                "requeued_deaths": self.requeued_deaths,
+                "retried_failures": self.retried_failures,
+                "degraded": self.degraded,
                 "in_flight": self._running,
                 "peak_concurrency": self.peak_concurrency,
             }

@@ -39,6 +39,7 @@ from .oracle import (
     DifferentialOracle,
     OracleFailure,
     SequenceResult,
+    run_chaos_sequence,
     run_sequence,
 )
 from .shrink import format_repro, shrink_case
@@ -54,6 +55,7 @@ __all__ = [
     "random_case",
     "random_query",
     "random_schedule",
+    "run_chaos_sequence",
     "run_sequence",
     "shrink_case",
 ]

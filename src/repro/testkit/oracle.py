@@ -50,7 +50,6 @@ from ..baselines.column_engine import ColumnStoreEngine
 from ..baselines.row_engine import RowStoreEngine
 from ..config import EngineConfig
 from ..core.engine import H2OEngine
-from ..errors import QueryTimeoutError, ServiceError
 from ..execution.result import QueryResult
 from ..service.service import H2OService
 from ..util.rng import derive_rng
@@ -316,7 +315,10 @@ class DifferentialOracle:
     # Fault passes ---------------------------------------------------------
 
     def _run_faulted_inline(
-        self, spec: CaseSpec, expected: Sequence[QueryResult]
+        self,
+        spec: CaseSpec,
+        expected: Sequence[QueryResult],
+        rng_tag: str = "inline",
     ) -> Dict[str, int]:
         """Inline engine under compile + online-stitch faults.
 
@@ -324,10 +326,10 @@ class DifferentialOracle:
         still be answered, identically, and every fired fault must be
         visible in the engine's counters afterwards.
         """
-        mode = "faults-inline"
+        mode = f"faults-{rng_tag}"
         engine = H2OEngine(spec.build_table(), self._adaptive_config())
         schedule = random_schedule(
-            derive_rng(spec.seed, "faults", "inline"),
+            derive_rng(spec.seed, "faults", rng_tag),
             horizon=max(4, 2 * len(spec.queries)),
             faults_per_point=self.faults_per_point,
             points=("codegen.compile", "reorg.online"),
@@ -367,24 +369,40 @@ class DifferentialOracle:
         return fired
 
     def _run_faulted_service(
-        self, spec: CaseSpec, expected: Sequence[QueryResult]
+        self,
+        spec: CaseSpec,
+        expected: Sequence[QueryResult],
+        rng_tag: str = "service",
     ) -> Dict[str, int]:
-        """Service under worker-death, timeout and offline-stitch faults.
+        """Service under compile, offline-stitch, worker-death and
+        transient-execute faults — every one *absorbed*.
 
-        Worker deaths and forced timeouts surface to the waiter as the
-        documented errors (and only those); every other query must be
-        answered identically.  Offline stitch aborts must be counted by
-        the scheduler and retried, never published partially.
+        The self-healing ladder (docs/resilience.md) means none of
+        these may reach a waiter: a worker death requeues the ticket
+        (the watchdog heals the pool), a transient execute failure is
+        retried under the attempt budget, a compile failure falls back
+        interpreted, an offline stitch abort is counted and the
+        candidate quarantined.  Every query must therefore be answered
+        **bit-identically** — a surfaced exception is an oracle
+        failure — and every absorbed fault must show up in the evidence
+        counters with *exact* equality, so a silently swallowed fault
+        fails the run just as loudly as a crash.
+
+        ``max_query_attempts`` is set above the worst case a schedule
+        can stack on one ticket (``faults_per_point`` worker deaths +
+        ``faults_per_point`` transient failures), so absorption is a
+        guarantee, not luck.
         """
-        mode = "faults-service"
+        mode = f"faults-{rng_tag}"
         service = H2OService(
             config=self._adaptive_config(adaptation_mode="background"),
             num_workers=self.workers,
             max_pending=4 * max(1, len(spec.queries)),
+            max_query_attempts=2 * self.faults_per_point + 2,
             name="oracle-fault-service",
         )
         schedule = random_schedule(
-            derive_rng(spec.seed, "faults", "service"),
+            derive_rng(spec.seed, "faults", rng_tag),
             horizon=max(4, len(spec.queries)),
             faults_per_point=self.faults_per_point,
             points=(
@@ -395,8 +413,6 @@ class DifferentialOracle:
             ),
         )
         injector = FaultInjector(schedule)
-        timeouts_seen = 0
-        deaths_seen = 0
         try:
             with injector:
                 service.register(spec.build_table())
@@ -407,21 +423,11 @@ class DifferentialOracle:
                 for index, sql in enumerate(spec.queries):
                     try:
                         report = service.execute(sql, timeout=120.0)
-                    except QueryTimeoutError:
-                        timeouts_seen += 1
-                        continue
-                    except ServiceError as exc:
-                        if "worker died" not in str(exc):
-                            raise OracleFailure(
-                                f"[{mode}] query #{index} failed with an "
-                                f"undocumented service error: {exc!r}"
-                            )
-                        deaths_seen += 1
-                        continue
                     except Exception as exc:  # noqa: BLE001
                         raise OracleFailure(
-                            f"[{mode}] query #{index} raised an "
-                            f"undocumented exception: {exc!r}\n  sql: {sql}"
+                            f"[{mode}] query #{index} surfaced an "
+                            f"exception the degradation ladder should "
+                            f"have absorbed: {exc!r}\n  sql: {sql}"
                         )
                     if not results_identical(report.result, expected[index]):
                         raise OracleFailure(
@@ -444,6 +450,22 @@ class DifferentialOracle:
                 ):
                     time.sleep(0.01)
                 check_engine_invariants(engine, epoch, mode)
+                # The watchdog must have healed the pool back to full
+                # strength (bounded wait — respawns are budgeted).
+                heal_deadline = time.monotonic() + 10.0
+                while (
+                    service.alive_workers() < self.workers
+                    and time.monotonic() < heal_deadline
+                ):
+                    time.sleep(0.01)
+                alive = service.alive_workers()
+                if alive < self.workers:
+                    raise OracleFailure(
+                        f"[{mode}] watchdog failed to heal the pool: "
+                        f"{alive}/{self.workers} workers alive after "
+                        f"{service.stats.snapshot()['worker_deaths']:.0f} "
+                        f"death(s)"
+                    )
         finally:
             service.close()
         fired = injector.fired_by_point()
@@ -468,24 +490,64 @@ class DifferentialOracle:
                 int(stats["worker_deaths"]),
             ),
             (
-                "service.worker → waiter ServiceError",
+                "service.worker → stats.requeued_deaths",
                 fired.get("service.worker", 0),
-                deaths_seen,
+                int(stats["requeued_deaths"]),
             ),
             (
-                "service.execute → waiter QueryTimeoutError",
+                "service.execute → stats.retried_failures",
                 fired.get("service.execute", 0),
-                timeouts_seen,
+                int(stats["retried_failures"]),
             ),
+            ("no waiter saw a failure", 0, int(stats["failed"])),
+            ("no waiter saw a timeout", 0, int(stats["timeouts"])),
         ]
         for description, injected, observed in audits:
             if injected != observed:
                 raise OracleFailure(
                     f"[{mode}] fault evidence mismatch ({description}): "
-                    f"{injected} fired but {observed} surfaced — a fault "
-                    f"was swallowed silently"
+                    f"expected {injected} but observed {observed} — a "
+                    f"fault was swallowed silently or surfaced wrongly"
                 )
         return fired
+
+    # Chaos mode ------------------------------------------------------------
+
+    def chaos_case(self, spec: CaseSpec) -> SequenceResult:
+        """One chaos sequence: faults at *every* registered point.
+
+        Two sub-passes cover the five fault points end to end (online
+        stitches only happen on the inline path by design — background
+        mode routes materialization through the scheduler):
+
+        1. **inline** — ``codegen.compile`` + ``reorg.online`` against
+           the inline engine;
+        2. **service** — ``codegen.compile``, ``reorg.offline``,
+           ``service.worker``, ``service.execute`` against the full
+           background service.
+
+        Acceptance is strict: zero crashes, zero wrong answers, the
+        worker pool healed, and every fired fault accounted for in the
+        degradation evidence with exact equality.
+        """
+        started = time.perf_counter()
+        expected = self.reference_results(spec)
+        outcome = SequenceResult(
+            spec=spec, modes=("chaos-inline", "chaos-service")
+        )
+        fired_inline = self._run_faulted_inline(
+            spec, expected, rng_tag="chaos-inline"
+        )
+        fired_service = self._run_faulted_service(
+            spec, expected, rng_tag="chaos-service"
+        )
+        for point in set(fired_inline) | set(fired_service):
+            outcome.fired_faults[point] = fired_inline.get(
+                point, 0
+            ) + fired_service.get(point, 0)
+        outcome.queries_checked = 2 * len(expected)
+        outcome.seconds = time.perf_counter() - started
+        return outcome
 
 
 def run_sequence(
@@ -500,3 +562,21 @@ def run_sequence(
 
     oracle = DifferentialOracle(workers=workers, with_faults=with_faults)
     return oracle.run_case(spec if spec is not None else random_case(seed))
+
+
+def run_chaos_sequence(
+    seed: int,
+    *,
+    workers: int = 3,
+    faults_per_point: int = 2,
+    spec: Optional[CaseSpec] = None,
+) -> SequenceResult:
+    """One chaos sequence (see :meth:`DifferentialOracle.chaos_case`)."""
+    from .generate import random_case
+
+    oracle = DifferentialOracle(
+        workers=workers, faults_per_point=faults_per_point
+    )
+    return oracle.chaos_case(
+        spec if spec is not None else random_case(seed)
+    )

@@ -10,6 +10,18 @@ one-line summary.  Red path: the first failing sequence is shrunk to a
 minimal spec and printed as a ≤10-line repro (seed + schema + SQL), and
 the process exits 1.
 
+Chaos mode::
+
+    PYTHONPATH=src python -m repro.testkit chaos --seqs 20 --seed 0
+
+runs seeded *chaos* sequences: faults scheduled at every registered
+injection point (compile, online + offline stitch, worker death,
+transient execute failure), asserting zero crashes, bit-identical
+answers, a healed worker pool and an exact degradation-evidence audit
+(see :meth:`repro.testkit.oracle.DifferentialOracle.chaos_case`).  It
+also reports cumulative fault-point coverage and fails if any point
+never fired across the run.
+
 Reproducing a printed case::
 
     PYTHONPATH=src python -m repro.testkit repro --seed S --attrs A \
@@ -79,6 +91,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import ALL_POINTS
+
+    oracle = DifferentialOracle(
+        workers=args.workers, faults_per_point=args.faults_per_point
+    )
+    started = time.perf_counter()
+    total_queries = 0
+    coverage: dict = {point: 0 for point in ALL_POINTS}
+    for index in range(args.seqs):
+        seed = args.seed + index
+        spec = random_case(seed)
+        total_queries += len(spec.queries)
+        try:
+            result = oracle.chaos_case(spec)
+        except OracleFailure as failure:
+            print(
+                f"CHAOS FAIL seq {index} ({spec.describe()}):",
+                file=sys.stderr,
+            )
+            print(f"  {failure}", file=sys.stderr)
+            print(format_repro(spec), file=sys.stderr)
+            return 1
+        for point, count in result.fired_faults.items():
+            coverage[point] = coverage.get(point, 0) + count
+        if args.verbose:
+            print(f"ok   seq {index}: {result.describe()}")
+    elapsed = time.perf_counter() - started
+    rendered = ", ".join(
+        f"{point}={coverage[point]}" for point in sorted(coverage)
+    )
+    print(
+        f"chaos: {args.seqs} sequences, {total_queries} queries, zero "
+        f"crashes/divergence ({elapsed:.1f}s)\n  faults fired: {rendered}"
+    )
+    uncovered = [point for point, count in sorted(coverage.items()) if not count]
+    if uncovered:
+        print(
+            f"chaos: fault point(s) never fired: {', '.join(uncovered)} — "
+            f"increase --seqs or --faults-per-point",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_repro(args: argparse.Namespace) -> int:
     spec = CaseSpec(
         seed=args.seed,
@@ -131,6 +189,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("-v", "--verbose", action="store_true")
     _add_common(run)
     run.set_defaults(func=_cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run N chaos sequences (faults at every injection point)",
+    )
+    chaos.add_argument("--seqs", type=int, default=20)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("-v", "--verbose", action="store_true")
+    _add_common(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     repro = sub.add_parser("repro", help="re-run one explicit case spec")
     repro.add_argument("--seed", type=int, required=True)

@@ -161,14 +161,45 @@ def test_online_stitch_abort_still_answers_and_is_counted():
     assert engine.reorg_aborts == inj.fired_count("reorg.online")
 
 
-def test_worker_death_fails_waiter_and_respawns():
+def test_worker_death_is_absorbed_and_pool_heals():
+    """PR 4 semantics: a death requeues the ticket — the waiter still
+    gets the answer — and the watchdog restores pool strength."""
+    import time as _time
+
     service = H2OService(config=EngineConfig(), num_workers=1, max_pending=8)
+    service.register(small_table("r", rng=2))
+    try:
+        with FaultInjector({"service.worker": frozenset({0})}) as inj:
+            report = service.execute("SELECT sum(a1) FROM r", timeout=30.0)
+            assert report.result.num_rows == 1
+        assert inj.fired_count("service.worker") == 1
+        snap = service.stats.snapshot()
+        assert snap["worker_deaths"] == 1
+        assert snap["requeued_deaths"] == 1
+        assert snap["failed"] == 0
+        deadline = _time.monotonic() + 5.0
+        while service.alive_workers() < 1 and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert service.alive_workers() == 1
+    finally:
+        service.close()
+
+
+def test_worker_death_surfaces_once_attempt_budget_is_exhausted():
+    """With a budget of one attempt the documented ServiceError still
+    reaches the waiter — the retry ladder is bounded, not infinite."""
+    service = H2OService(
+        config=EngineConfig(),
+        num_workers=1,
+        max_pending=8,
+        max_query_attempts=1,
+    )
     service.register(small_table("r", rng=2))
     try:
         with FaultInjector({"service.worker": frozenset({0})}) as inj:
             with pytest.raises(ServiceError, match="worker died"):
                 service.execute("SELECT sum(a1) FROM r", timeout=30.0)
-            # The replacement worker serves the next query.
+            # The watchdog-respawned worker serves the next query.
             report = service.execute("SELECT count(*) FROM r", timeout=30.0)
             assert report.result.scalars() == (512,)
         assert inj.fired_count("service.worker") == 1
@@ -177,15 +208,41 @@ def test_worker_death_fails_waiter_and_respawns():
         service.close()
 
 
-def test_forced_timeout_surfaces_to_waiter():
+def test_transient_execute_failure_is_retried_and_absorbed():
+    """An injected (retryable) execution failure is requeued within the
+    attempt budget; the waiter never sees it."""
     service = H2OService(config=EngineConfig(), num_workers=1, max_pending=8)
     service.register(small_table("r", rng=2))
     try:
         with FaultInjector({"service.execute": frozenset({0})}) as inj:
+            report = service.execute("SELECT sum(a1) FROM r", timeout=30.0)
+            assert report.result.num_rows == 1
+        assert inj.fired_count("service.execute") == 1
+        snap = service.stats.snapshot()
+        assert snap["retried_failures"] == 1
+        assert snap["failed"] == 0
+    finally:
+        service.close()
+
+
+def test_transient_failure_exhausting_budget_surfaces_to_waiter():
+    """Every attempt failing transiently still surfaces the error once
+    the budget runs out."""
+    service = H2OService(
+        config=EngineConfig(),
+        num_workers=1,
+        max_pending=8,
+        max_query_attempts=2,
+    )
+    service.register(small_table("r", rng=2))
+    try:
+        with FaultInjector({"service.execute": frozenset({0, 1})}) as inj:
             with pytest.raises(QueryTimeoutError):
                 service.execute("SELECT sum(a1) FROM r", timeout=30.0)
-        assert inj.fired_count("service.execute") == 1
-        assert service.stats.snapshot()["failed"] == 1
+        assert inj.fired_count("service.execute") == 2
+        snap = service.stats.snapshot()
+        assert snap["retried_failures"] == 1
+        assert snap["failed"] == 1
     finally:
         service.close()
 
@@ -229,9 +286,9 @@ def test_mutation_erased_codegen_fallback_counter_fails_oracle(monkeypatch):
 
     orig = Executor.run_plan
 
-    def swallowing(self, info, plan):
+    def swallowing(self, info, plan, **kwargs):
         before = self.codegen_fallbacks
-        outcome = orig(self, info, plan)
+        outcome = orig(self, info, plan, **kwargs)
         self.codegen_fallbacks = before  # the mutation: evidence erased
         return outcome
 
@@ -255,8 +312,8 @@ def test_mutation_uncounted_online_abort_fails_oracle(monkeypatch):
     engine's abort counter must fail the evidence audit."""
     orig = H2OEngine.execute
 
-    def swallowing(self, query):
-        report = orig(self, query)
+    def swallowing(self, query, **kwargs):
+        report = orig(self, query, **kwargs)
         self.reorg_aborts = 0  # the mutation: evidence erased
         return report
 
