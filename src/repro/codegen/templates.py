@@ -42,6 +42,17 @@ from .source import SourceBuilder
 
 KERNEL_NAME = "kernel"
 
+#: Shared signature of every generated kernel.  ``lo``/``hi`` select the
+#: row slice the kernel scans (defaults scan everything, so serial
+#: callers are unchanged — one compiled operator serves both the serial
+#: and the morsel-parallel path, sharing the operator cache).  With
+#: ``partial=True`` an aggregation kernel returns its raw accumulator
+#: states ``(qualifying_count, (state, ...))`` instead of finalized
+#: outputs, so the morsel runner can combine per-morsel states in
+#: morsel-index order; projection kernels ignore the flag (their sliced
+#: output blocks concatenate in order).
+KERNEL_DEF = f"def {KERNEL_NAME}(bufs, params, lo=0, hi=None, partial=False):"
+
 
 @dataclass(frozen=True)
 class _Provider:
@@ -83,10 +94,16 @@ def _used_buffers(providers: Dict[str, _Provider]) -> List[int]:
 
 
 def _emit_prelude(sb: SourceBuilder, providers: Dict[str, _Provider]) -> None:
-    """Bind the used buffers to locals and determine the row count."""
+    """Bind the used buffers to locals and determine the row count.
+
+    Buffers are bound through the kernel's ``lo:hi`` row slice (views,
+    no copies; a row slice of a C-contiguous 2-D buffer stays
+    C-contiguous).  With the default ``lo=0, hi=None`` the slice is the
+    whole buffer, so the serial path pays nothing.
+    """
     used = _used_buffers(providers)
     for index in used:
-        sb.line(f"buf{index} = bufs[{index}]")
+        sb.line(f"buf{index} = bufs[{index}][lo:hi]")
     first = used[0]
     sb.line(f"n = buf{first}.shape[0]")
 
@@ -205,6 +222,31 @@ def _emit_agg_finalize_slots(
                 f"agg{slot.index} = acc_x{slot.index} "
                 f"if acc_x{slot.index} is not None else float('nan')"
             )
+
+
+def _scalar_state_expr(slot: _AggSlot) -> str:
+    """Raw-accumulator source for one scalar slot's partial state.
+
+    The morsel combiner's state contract per slot: COUNT carries None
+    (the shared qualifying count covers it), SUM/AVG carry the float
+    running sum, MIN/MAX carry float-or-None.
+    """
+    if slot.func is AggregateFunc.COUNT:
+        return "None"
+    if slot.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+        return f"acc_s{slot.index}"
+    if slot.func is AggregateFunc.MIN:
+        return f"acc_m{slot.index}"
+    return f"acc_x{slot.index}"
+
+
+def _emit_partial_return(
+    sb: SourceBuilder, cnt_expr: str, state_exprs: Sequence[str]
+) -> None:
+    """Emit ``if partial: return (float(cnt), (state, ...))``."""
+    states = "".join(f"{expr}, " for expr in state_exprs)
+    with sb.block("if partial:"):
+        sb.line(f"return (float({cnt_expr}), ({states}))")
 
 
 def _finalize_expr_source(
@@ -387,6 +429,17 @@ def _emit_columnar_aggregates(
     """
     sb.line("cnt = n")
     with sb.block("if n == 0:"):
+        empty_states = [
+            "None"
+            if slot.func is AggregateFunc.COUNT
+            else (
+                "0.0"
+                if slot.func in (AggregateFunc.SUM, AggregateFunc.AVG)
+                else "None"
+            )
+            for slot in slots
+        ]
+        _emit_partial_return(sb, "0", empty_states)
         _emit_agg_init(sb, slots)  # zero/None accumulators
         _emit_agg_finalize(sb, slots)
         _emit_return_aggregates(sb, info, slots, params)
@@ -475,9 +528,22 @@ def _emit_columnar_aggregates(
                 else f"{var}[{provider.position}]"
             )
         if slot.func is AggregateFunc.AVG:
-            sb.line(f"agg{slot.index} = float({pick}) / n")
+            # Keep the raw sum in its own local: the partial-state
+            # contract carries sums, not averages (the combiner divides
+            # by the global count once, matching serial semantics).
+            sb.line(f"psum{slot.index} = float({pick})")
+            sb.line(f"agg{slot.index} = psum{slot.index} / n")
         else:
             sb.line(f"agg{slot.index} = float({pick})")
+    columnar_states = []
+    for slot in slots:
+        if slot.func is AggregateFunc.COUNT:
+            columnar_states.append("None")
+        elif slot.func is AggregateFunc.AVG:
+            columnar_states.append(f"psum{slot.index}")
+        else:
+            columnar_states.append(f"agg{slot.index}")
+    _emit_partial_return(sb, "cnt", columnar_states)
     _emit_return_aggregates(sb, info, slots, params)
 
 
@@ -535,7 +601,7 @@ def fused_aggregate_source(
         for i, agg in enumerate(collect_aggregates(info.query.select))
     ]
     sb = SourceBuilder()
-    with sb.block(f"def {KERNEL_NAME}(bufs, params):"):
+    with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
         if _columnar_fast_path_applies(info, slots):
             _emit_columnar_aggregates(
@@ -602,6 +668,25 @@ def fused_aggregate_source(
                 count_var = "k" if info.has_predicate else "(stop - start)"
                 for slot in scalar_slots:
                     _emit_agg_update(sb, slot, agg_compiler, count_var)
+        partial_states = []
+        for slot in slots:
+            if slot.index in vec_set:
+                provider = providers[slot.agg.arg.name]
+                var = reductions[
+                    (provider.buffer_index, _VEC_KIND[slot.func])
+                ]
+                pick = f"float({var}[{provider.position}])"
+                if slot.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+                    partial_states.append(
+                        f"({pick} if {var} is not None else 0.0)"
+                    )
+                else:
+                    partial_states.append(
+                        f"({pick} if {var} is not None else None)"
+                    )
+            else:
+                partial_states.append(_scalar_state_expr(slot))
+        _emit_partial_return(sb, "cnt", partial_states)
         _emit_agg_finalize_slots(sb, scalar_slots)
         for slot in vec_slots:
             provider = providers[slot.agg.arg.name]
@@ -650,7 +735,7 @@ def fused_project_source(
     outputs = info.query.select
     num_outputs = len(outputs)
     sb = SourceBuilder()
-    with sb.block(f"def {KERNEL_NAME}(bufs, params):"):
+    with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
 
         plain = (
@@ -784,7 +869,7 @@ def late_aggregate_source(
     ]
     column_index = {attr: i for i, attr in enumerate(info.all_attrs)}
     sb = SourceBuilder()
-    with sb.block(f"def {KERNEL_NAME}(bufs, params):"):
+    with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
         has_sel = _emit_late_selection(sb, info, providers, params)
         _emit_agg_init(sb, slots)
@@ -805,6 +890,9 @@ def late_aggregate_source(
             compiler = ExprCompiler(bindings, params, fused=False)
             for slot in slots:
                 _emit_agg_update(sb, slot, compiler, "cnt")
+        _emit_partial_return(
+            sb, "cnt", [_scalar_state_expr(slot) for slot in slots]
+        )
         _emit_agg_finalize(sb, slots)
         _emit_return_aggregates(sb, info, slots, params)
     return sb.render(), params
@@ -820,7 +908,7 @@ def late_project_source(
     num_outputs = len(outputs)
     column_index = {attr: i for i, attr in enumerate(info.all_attrs)}
     sb = SourceBuilder()
-    with sb.block(f"def {KERNEL_NAME}(bufs, params):"):
+    with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
         has_sel = _emit_late_selection(sb, info, providers, params)
         sb.line(f"cnt = {'int(sel.shape[0])' if has_sel else 'n'}")

@@ -169,6 +169,31 @@ class EngineConfig:
     #:   Without a scheduler attached the engine safely degrades to
     #:   inline behaviour.
     adaptation_mode: str = "inline"
+    #: Whether scans may run morsel-parallel on the shared scan pool.
+    #: Serial execution remains the reference semantics: parallel runs
+    #: combine per-morsel partial states in morsel-index order so the
+    #: answers are bit-identical either way.
+    parallel_scans: bool = True
+    #: Whether per-morsel min/max zone maps are built (during lazy
+    #: materialization's fused pass, on stitches and incrementally on
+    #: appends) and consulted to skip non-qualifying morsels before
+    #: dispatch and to discount scan cost in Eq. 1/Eq. 2 comparisons.
+    zone_maps: bool = True
+    #: Rows per morsel: the unit of parallel dispatch and of zone-map
+    #: granularity.  Rounded up to a multiple of ``vector_size`` at
+    #: construction so that the online reorganizer's fused block pass
+    #: always aligns with morsel boundaries.
+    morsel_rows: int = 65536
+    #: Tables at or above this many rows are eligible for parallel
+    #: dispatch; smaller scans stay serial (fan-out overhead dominates).
+    #: Zone-map pruning applies regardless of this threshold.
+    parallel_threshold_rows: int = 131072
+    #: Upper bound on threads one query's scan may occupy, including the
+    #: calling thread; 0 means "use every usable core".  The process-wide
+    #: scan pool further deducts threads busy on behalf of other queries
+    #: (service workers register their load), so a saturated service
+    #: degrades toward one thread per query instead of oversubscribing.
+    max_scan_threads: int = 0
     #: Storage budget in bytes for the table *including* replicated
     #: groups; 0 means unlimited.  When a new layout pushes the table
     #: past the budget, the least-used replicated groups are retired
@@ -229,6 +254,28 @@ class EngineConfig:
             raise AdaptationError(
                 "quarantine_cap must be >= quarantine_base, got "
                 f"{self.quarantine_cap} < {self.quarantine_base}"
+            )
+        if self.morsel_rows <= 0:
+            raise AdaptationError(
+                f"morsel_rows must be positive, got {self.morsel_rows}"
+            )
+        if self.morsel_rows % self.vector_size != 0:
+            # Align upward so the reorganizer's fused vector_size blocks
+            # never straddle a morsel boundary (frozen dataclass, hence
+            # object.__setattr__ in __post_init__).
+            blocks = -(-self.morsel_rows // self.vector_size)
+            object.__setattr__(
+                self, "morsel_rows", blocks * self.vector_size
+            )
+        if self.parallel_threshold_rows < 0:
+            raise AdaptationError(
+                f"parallel_threshold_rows must be >= 0, got "
+                f"{self.parallel_threshold_rows}"
+            )
+        if self.max_scan_threads < 0:
+            raise AdaptationError(
+                f"max_scan_threads must be >= 0 (0 = all usable cores), "
+                f"got {self.max_scan_threads}"
             )
         if not 0.0 < self.selectivity_drift_band <= 1.0:
             raise AdaptationError(

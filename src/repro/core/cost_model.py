@@ -270,13 +270,23 @@ class CostModel:
         return masked_sql(info.query.where)
 
     def fused_cost(
-        self, info: QueryInfo, cover: Sequence[GroupSpec]
+        self,
+        info: QueryInfo,
+        cover: Sequence[GroupSpec],
+        scan_fraction: float = 1.0,
     ) -> float:
-        """Eq. 2 for a fused single-pass scan over ``cover``."""
+        """Eq. 2 for a fused single-pass scan over ``cover``.
+
+        ``scan_fraction`` is the fraction of morsels that survive
+        zone-map pruning (1.0 when nothing prunes): pruning skips whole
+        morsels before they are scanned, so only the *scan* term
+        shrinks.  The qualifying-tuple terms are untouched — pruning is
+        exact, every qualifying tuple lives in a surviving morsel.
+        """
         selectivity, n_select, ops = self._query_shape(info)
         # Identical (interned) specs are grouped: cost is linear in the
         # number of *distinct* access shapes, not the number of layouts.
-        total = sum(
+        total = scan_fraction * sum(
             count * self.sequential_access(spec)
             for spec, count in Counter(cover).items()
         )
@@ -294,6 +304,7 @@ class CostModel:
     def late_cost(
         self, info: QueryInfo, cover: Sequence[GroupSpec],
         where_cover: Optional[Sequence[GroupSpec]] = None,
+        scan_fraction: float = 1.0,
     ) -> float:
         """Eq. 2 for a late-materialization plan.
 
@@ -302,6 +313,10 @@ class CostModel:
         columns.  Predicate columns are read with strided column access;
         SELECT columns are gathered at the estimated selectivity, and
         every arithmetic operator materializes an intermediate.
+
+        ``scan_fraction`` scales the predicate-column scan exactly as in
+        :meth:`fused_cost`: zone-map pruning skips whole morsels of the
+        filter scan, while the qualifying-tuple gathers are unchanged.
         """
         selectivity, n_select, ops = self._query_shape(info)
         num_rows = cover[0].num_rows if cover else 0
@@ -309,7 +324,9 @@ class CostModel:
         if info.has_predicate:
             where_specs = where_cover if where_cover is not None else ()
             for spec, count in Counter(where_specs).items():
-                total += count * self.column_stride_access(spec)
+                total += scan_fraction * count * (
+                    self.column_stride_access(spec)
+                )
             qualifying = selectivity * num_rows
             # The selection vector itself is an intermediate.
             total += self.intermediate(qualifying)
@@ -367,16 +384,28 @@ class CostModel:
             )
         return tuple(specs)
 
-    def plan_cost(self, info: QueryInfo, plan: AccessPlan) -> float:
-        """Estimated cost of executing ``info`` with ``plan`` (Eq. 2)."""
+    def plan_cost(
+        self,
+        info: QueryInfo,
+        plan: AccessPlan,
+        scan_fraction: float = 1.0,
+    ) -> float:
+        """Estimated cost of executing ``info`` with ``plan`` (Eq. 2).
+
+        ``scan_fraction`` is the fraction of morsels surviving zone-map
+        pruning (the engine measures it against the pinned snapshot once
+        per planning); it discounts the scan terms only.
+        """
         if plan.strategy is ExecutionStrategy.FUSED:
             cover = self._specs_for_layouts(plan.layouts, info.all_attrs)
-            return self.fused_cost(info, cover)
+            return self.fused_cost(info, cover, scan_fraction)
         select_specs = self._specs_for_layouts(
             plan.layouts, info.select_attrs
         )
         where_specs = self._specs_for_layouts(plan.layouts, info.where_attrs)
-        return self.late_cost(info, select_specs, where_specs)
+        return self.late_cost(
+            info, select_specs, where_specs, scan_fraction
+        )
 
     # Transformation cost (the T term of Eq. 1) -----------------------------------
 

@@ -80,6 +80,12 @@ from ..errors import (
     ReorganizationError,
 )
 from ..execution.executor import ExecStats, Executor
+from ..execution.morsel import (
+    DeadlineCheck,
+    keep_mask_for,
+    plan_morsels,
+    run_generated_morsels,
+)
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.quarantine import QuarantineList
 from ..execution.result import QueryResult
@@ -134,6 +140,15 @@ class QueryReport:
     #: An online reorganization triggered by this query aborted; the
     #: candidate was quarantined and the query answered via planning.
     reorg_aborted: bool = False
+    #: Morsel-driven scan telemetry (zero/serial when the query ran as
+    #: one monolithic scan): how many aligned morsels the table divides
+    #: into, how many zone maps proved empty and skipped, how many scan
+    #: threads actually participated, and whether the scan genuinely ran
+    #: on more than one thread.
+    morsels_total: int = 0
+    morsels_pruned: int = 0
+    scan_threads_used: int = 1
+    parallel_scan: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -298,10 +313,14 @@ class H2OEngine:
             result, stats = prep.result, prep.stats
         elif prep.entry is not None:
             self._check_deadline(deadline, "run")
-            result, stats = self._execute_fast(prep.entry, query, phases)
+            result, stats = self._execute_fast(
+                prep.entry, query, phases, self._morsel_deadline(deadline)
+            )
         else:
             self._check_deadline(deadline, "run")
-            result, stats = self._run_plan(prep, phases)
+            result, stats = self._run_plan(
+                prep, phases, self._morsel_deadline(deadline)
+            )
 
         seconds = time.perf_counter() - started
         self._check_deadline(deadline, "finish")
@@ -325,6 +344,36 @@ class H2OEngine:
         raise QueryTimeoutError(
             f"deadline passed before the {stage!r} stage could start"
         )
+
+    def _morsel_deadline(
+        self, deadline: Optional[float]
+    ) -> DeadlineCheck:
+        """A per-morsel cancellation hook for ``deadline``.
+
+        Morsel-driven scans invoke it before every morsel, turning the
+        stage-boundary deadline into a finer-grained one: an over-budget
+        scan aborts at the next morsel boundary instead of running to
+        completion.  The abort is accounted exactly once (multiple scan
+        threads may observe the expiry concurrently) and feeds the same
+        ``deadline_aborts`` rung of the degradation ladder as the
+        stage-boundary checks.  Monolithic serial scans never see it —
+        their only checks remain the stage boundaries.
+        """
+        if deadline is None:
+            return None
+        once = threading.Lock()
+
+        def check() -> None:
+            if time.monotonic() < deadline:
+                return
+            if once.acquire(blocking=False):
+                with self.lock:
+                    self.deadline_aborts += 1
+            raise QueryTimeoutError(
+                "deadline passed mid-scan (aborted at a morsel boundary)"
+            )
+
+        return check
 
     def run_sequence(self, queries) -> List[QueryReport]:
         """Execute a sequence of queries, returning all reports."""
@@ -469,6 +518,12 @@ class H2OEngine:
                 stats.extras.get("breaker_short_circuit")
             ),
             reorg_aborted=prep.reorg_aborted,
+            morsels_total=int(stats.extras.get("morsels_total", 0)),
+            morsels_pruned=int(stats.extras.get("morsels_pruned", 0)),
+            scan_threads_used=int(
+                stats.extras.get("scan_threads_used", 1)
+            ),
+            parallel_scan=bool(stats.extras.get("parallel", False)),
         )
         self.reports.append(report)
         return report
@@ -685,11 +740,33 @@ class H2OEngine:
         Planning runs against the pinned snapshot, so a concurrent
         layout publication cannot change the candidate covers mid-
         enumeration.
+
+        When zone maps are on, Eq. 2's scan terms are discounted by the
+        fraction of morsels the query's predicate would actually touch
+        — the pruning-aware scan term.  The fraction is computed once
+        per planning (zone-map stats are row-aligned, hence identical
+        across every candidate plan's layouts) and folded into every
+        plan's cost, so a selective query's amortization and plan
+        choice reflect the scan it will really pay for.
         """
         t0 = time.perf_counter()
         plans = enumerate_plans(snapshot, info)
+        scan_fraction = 1.0
+        if self.config.zone_maps and info.has_predicate:
+            keep = keep_mask_for(
+                info,
+                snapshot.layouts,
+                snapshot.num_rows,
+                self.config.morsel_rows,
+            )
+            if keep is not None and keep.size:
+                scan_fraction = float(keep.sum()) / keep.size
         costed = [
-            (self.cost_model.plan_cost(info, plan), i, plan)
+            (
+                self.cost_model.plan_cost(info, plan, scan_fraction),
+                i,
+                plan,
+            )
             for i, plan in enumerate(plans)
         ]
         cost, _, plan = min(costed)
@@ -699,7 +776,10 @@ class H2OEngine:
     # Stage 2: run (lock released) ----------------------------------------------
 
     def _run_plan(
-        self, prep: _Prepared, phases: Dict[str, float]
+        self,
+        prep: _Prepared,
+        phases: Dict[str, float],
+        deadline_check: DeadlineCheck = None,
     ) -> Tuple[QueryResult, ExecStats]:
         """Execute the chosen cold-path plan (no engine lock held).
 
@@ -723,7 +803,10 @@ class H2OEngine:
             signature = prep.info.query.shape_signature()
             allow_codegen = self.breaker.allow(signature)
         result, stats = self.executor.run_plan(
-            prep.info, prep.plan, allow_codegen=allow_codegen
+            prep.info,
+            prep.plan,
+            allow_codegen=allow_codegen,
+            deadline_check=deadline_check,
         )
         if signature is not None:
             if not allow_codegen:
@@ -742,58 +825,107 @@ class H2OEngine:
     # The steady-state fast lane ------------------------------------------------
 
     def _execute_fast(
-        self, entry: CachedPlan, query: Query, phases: Dict[str, float]
+        self,
+        entry: CachedPlan,
+        query: Query,
+        phases: Dict[str, float],
+        deadline_check: DeadlineCheck = None,
     ) -> Tuple[QueryResult, ExecStats]:
         """Answer a repeat query shape from its cached decision.
 
         With a compiled kernel the whole query becomes: extract the
         fresh literals, bind the (epoch-validated) layout buffers, call
-        the kernel.  Without one (interpreted configurations) the cached
-        plan still skips analysis, enumeration and costing, and the
-        executor runs it generically.  Runs without the engine lock —
-        everything it reads (the entry's plan, kernel, and layout
+        the kernel.  Large tables go through the morsel-driven path —
+        the cached kernel takes ``lo``/``hi`` slice parameters, so the
+        *same* compiled operator serves the serial and the parallel
+        lane, and the fresh literals still enable zone-map pruning per
+        repeat.  Without a kernel (interpreted configurations) the
+        cached plan still skips analysis, enumeration and costing, and
+        the executor runs it generically.  Runs without the engine lock
+        — everything it reads (the entry's plan, kernel, and layout
         buffers) is immutable.
         """
         t0 = time.perf_counter()
         if entry.kernel is not None and entry.extract_params is not None:
             params = entry.extract_params(query)
-            buffers = tuple(
-                layout.data for layout in entry.plan.layouts
-            )
-            payload = entry.kernel(buffers, params)
             names = [out.name for out in query.select]
-            if entry.is_aggregation:
-                values, qualifying_raw = payload
-                result = QueryResult.scalar_row(names, values)
-                qualifying = int(qualifying_raw)
+            mp = None
+            pool = None
+            if self.config.parallel_scans or self.config.zone_maps:
+                info = self._entry_info(entry, query)
+                pool = self.executor._pool()
+                mp = plan_morsels(
+                    info,
+                    entry.plan.layouts,
+                    entry.plan.layouts[0].num_rows,
+                    self.executor.morsel_settings,
+                    pool,
+                )
+            if mp is not None:
+                outcome = run_generated_morsels(
+                    entry.kernel,
+                    params,
+                    info,
+                    entry.plan.layouts,
+                    mp,
+                    pool,
+                    deadline_check,
+                )
+                result = outcome.result
+                stats = ExecStats(
+                    strategy=entry.plan.strategy,
+                    plan=entry.plan_desc,
+                    used_codegen=True,
+                    codegen_cache_hit=True,
+                    rows_out=result.num_rows,
+                    qualifying_rows=outcome.qualifying,
+                )
+                outcome.fill_extras(stats.extras)
             else:
-                result = QueryResult(names, payload)
-                qualifying = result.num_rows
-            stats = ExecStats(
-                strategy=entry.plan.strategy,
-                plan=entry.plan_desc,
-                used_codegen=True,
-                codegen_cache_hit=True,
-                rows_out=result.num_rows,
-                qualifying_rows=qualifying,
-            )
+                buffers = tuple(
+                    layout.data for layout in entry.plan.layouts
+                )
+                payload = entry.kernel(buffers, params)
+                if entry.is_aggregation:
+                    values, qualifying_raw = payload
+                    result = QueryResult.scalar_row(names, values)
+                    qualifying = int(qualifying_raw)
+                else:
+                    result = QueryResult(names, payload)
+                    qualifying = result.num_rows
+                stats = ExecStats(
+                    strategy=entry.plan.strategy,
+                    plan=entry.plan_desc,
+                    used_codegen=True,
+                    codegen_cache_hit=True,
+                    rows_out=result.num_rows,
+                    qualifying_rows=qualifying,
+                )
         else:
-            info = QueryInfo(
-                query=query,
-                select_attrs=entry.select_attrs,
-                where_attrs=entry.where_attrs,
-                all_attrs=entry.all_attrs,
-                output_types=entry.output_types,
-                is_aggregation=entry.is_aggregation,
-                has_predicate=entry.has_predicate,
+            info = self._entry_info(entry, query)
+            result, stats = self.executor.run_plan(
+                info, entry.plan, deadline_check=deadline_check
             )
-            result, stats = self.executor.run_plan(info, entry.plan)
             stats.extras.pop("operator", None)
         stats.extras["cost_estimate"] = entry.cost_estimate
         phases["execute"] = (
             phases.get("execute", 0.0) + time.perf_counter() - t0
         )
         return result, stats
+
+    @staticmethod
+    def _entry_info(entry: CachedPlan, query: Query) -> QueryInfo:
+        """Rebuild the analyzer facts for a cached plan (cheap: every
+        field but the fresh query object is stored on the entry)."""
+        return QueryInfo(
+            query=query,
+            select_attrs=entry.select_attrs,
+            where_attrs=entry.where_attrs,
+            all_attrs=entry.all_attrs,
+            output_types=entry.output_types,
+            is_aggregation=entry.is_aggregation,
+            has_predicate=entry.has_predicate,
+        )
 
     def _maybe_cache_plan(
         self, query: Query, prep: _Prepared, stats: ExecStats
@@ -868,6 +1000,14 @@ class H2OEngine:
         contribute when the result itself is the qualifying row set.
         The denominator is the row count of the snapshot the query
         actually scanned, not the table's possibly newer state.
+
+        Zone-map pruning does not skew this feedback: a pruned morsel
+        provably holds zero qualifying rows, so the sum of per-morsel
+        qualifying counts the morsel path reports equals the full-scan
+        count, and the denominator deliberately stays the snapshot's
+        *total* row count (not the rows actually scanned) — selectivity
+        remains "qualifying fraction of the table", the quantity Eq. 2
+        estimates with.
         """
         if not info.has_predicate or snapshot.num_rows == 0:
             return

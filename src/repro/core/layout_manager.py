@@ -89,7 +89,13 @@ class LayoutManager:
         full_width = len(ordered) == self.table.schema.width
         with Timer() as timer:
             group, stats = stitch_group(
-                sources, ordered, self.table.schema, full_width=full_width
+                sources,
+                ordered,
+                self.table.schema,
+                full_width=full_width,
+                morsel_rows=(
+                    self.config.morsel_rows if self.config.zone_maps else 0
+                ),
             )
         self.table.add_layout(group)
         with self._log_lock:

@@ -43,6 +43,7 @@ from ..sql.analyzer import QueryInfo
 from ..storage.column_group import ColumnGroup
 from ..storage.relation import LayoutSnapshot, Table
 from ..storage.stitcher import stitch_group
+from ..storage.zonemap import ZoneMapBuilder, attach_zone_maps
 from ..util.faultpoints import fault_point
 from ..util.timing import Timer
 
@@ -67,6 +68,10 @@ class Reorganizer:
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
 
+    def _zone_morsel_rows(self) -> int:
+        """Morsel granularity for fused zone-map builds (0 = disabled)."""
+        return self.config.morsel_rows if self.config.zone_maps else 0
+
     # Offline --------------------------------------------------------------------
 
     def offline(
@@ -87,7 +92,11 @@ class Reorganizer:
         fault_point("reorg.offline", attrs=ordered)
         with Timer() as timer:
             group, _stats = stitch_group(
-                sources, ordered, table.schema, full_width=full_width
+                sources,
+                ordered,
+                table.schema,
+                full_width=full_width,
+                morsel_rows=self._zone_morsel_rows(),
             )
         return ReorgOutcome(
             group=group, result=None, seconds=timer.elapsed, mode="offline"
@@ -131,6 +140,16 @@ class Reorganizer:
 
         data = np.empty((num_rows, len(ordered)), dtype=dtype)
         block_rows = self.config.vector_size
+        # Zone maps ride the same fused pass: each stitched block is
+        # reduced while cache-hot, then blocks collapse into per-morsel
+        # stats at the end (alignment holds because EngineConfig enforces
+        # morsel_rows % vector_size == 0).
+        zone_morsel_rows = self._zone_morsel_rows()
+        zone_builder = (
+            ZoneMapBuilder(ordered, zone_morsel_rows)
+            if zone_morsel_rows > 0
+            else None
+        )
 
         aggregates = (
             collect_aggregates(info.query.select)
@@ -155,6 +174,8 @@ class Reorganizer:
             # The stitch: copy source slices into the new layout's block.
             for attr in ordered:
                 block[:, position[attr]] = sources[attr][start:stop]
+            if zone_builder is not None:
+                zone_builder.add_block(start, block)
 
             # The query: evaluate on the cache-hot stitched block.
             def resolve(
@@ -198,6 +219,8 @@ class Reorganizer:
 
         full_width = len(ordered) == schema.width
         group = ColumnGroup(ordered, data, full_width=full_width)
+        if zone_builder is not None:
+            attach_zone_maps(group, zone_builder.finish())
         names = [out.name for out in info.query.select]
         if info.is_aggregation:
             agg_values = {

@@ -14,9 +14,25 @@ from typing import Optional, Tuple
 
 import threading
 
+import numpy as np
+
 from ..config import EngineConfig
 from ..errors import CodegenError
 from ..sql.analyzer import QueryInfo
+from .evaluator import (
+    AggregateAccumulator,
+    collect_aggregates,
+    evaluate_value,
+    finalize_output,
+)
+from .morsel import (
+    DeadlineCheck,
+    MorselSettings,
+    plan_morsels,
+    run_generated_morsels,
+    run_interpreted_morsels,
+)
+from .parallel import ScanPool, get_scan_pool
 from .result import QueryResult
 from .strategies import AccessPlan, ExecutionStrategy
 from .vectorized import run_late_interpreted
@@ -67,12 +83,24 @@ class Executor:
         #: faults it injected — a silently swallowed failure is caught.
         self.codegen_fallbacks = 0
         self._fallback_lock = threading.Lock()
+        #: Morsel-driven parallel-scan knobs (see execution/morsel.py).
+        self.morsel_settings = MorselSettings.from_config(self.config)
+        #: The shared scan pool; ``None`` until first used.  Tests and
+        #: benchmarks may inject a dedicated :class:`ScanPool` here to
+        #: control thread counts independently of the machine.
+        self.scan_pool: Optional[ScanPool] = None
+
+    def _pool(self) -> ScanPool:
+        if self.scan_pool is None:
+            self.scan_pool = get_scan_pool()
+        return self.scan_pool
 
     def run_plan(
         self,
         info: QueryInfo,
         plan: AccessPlan,
         allow_codegen: bool = True,
+        deadline_check: DeadlineCheck = None,
     ) -> Tuple[QueryResult, ExecStats]:
         """Execute ``info`` with ``plan`` and report what happened.
 
@@ -81,25 +109,21 @@ class Executor:
         circuit breaker uses it to short-circuit compilation for shapes
         whose compiles keep failing (see docs/resilience.md); answers
         are identical either way, only slower.
+
+        ``deadline_check`` is invoked before each morsel on the
+        morsel-driven path (and never on the monolithic serial path); it
+        should raise to abort an over-budget query between morsels.
         """
         if not info.all_attrs:
             return self._run_attribute_free(info, plan)
         if self.config.use_codegen and allow_codegen:
-            return self._run_generated(info, plan)
-        return self._run_interpreted(info, plan)
+            return self._run_generated(info, plan, deadline_check)
+        return self._run_interpreted(info, plan, deadline_check)
 
     def _run_attribute_free(
         self, info: QueryInfo, plan: AccessPlan
     ) -> Tuple[QueryResult, ExecStats]:
         """Queries that read no attributes (e.g. ``SELECT count(*)``)."""
-        import numpy as np
-
-        from .evaluator import (
-            AggregateAccumulator,
-            collect_aggregates,
-            finalize_output,
-        )
-
         num_rows = plan.layouts[0].num_rows
         names = [out.name for out in info.query.select]
         if info.is_aggregation:
@@ -110,8 +134,6 @@ class Executor:
                     state.update(None, num_rows)
                 else:
                     # A constant argument repeated for every tuple.
-                    from .evaluator import evaluate_value
-
                     value = evaluate_value(agg.arg, lambda _n: None)
                     state.update(
                         np.full(num_rows, float(value)), num_rows
@@ -123,8 +145,6 @@ class Executor:
             ]
             result = QueryResult.scalar_row(names, values)
         else:
-            from .evaluator import evaluate_value
-
             block = np.empty(
                 (num_rows, len(info.query.select)), dtype=np.float64
             )
@@ -143,9 +163,29 @@ class Executor:
     # Interpreted path ------------------------------------------------------
 
     def _run_interpreted(
-        self, info: QueryInfo, plan: AccessPlan
+        self,
+        info: QueryInfo,
+        plan: AccessPlan,
+        deadline_check: DeadlineCheck = None,
     ) -> Tuple[QueryResult, ExecStats]:
         num_rows = plan.layouts[0].num_rows
+        pool = self._pool()
+        mp = plan_morsels(
+            info, plan.layouts, num_rows, self.morsel_settings, pool
+        )
+        if mp is not None:
+            outcome = run_interpreted_morsels(
+                info, plan.layouts, mp, pool, deadline_check
+            )
+            stats = ExecStats(
+                strategy=plan.strategy,
+                plan=plan.describe(),
+                used_codegen=False,
+                rows_out=outcome.result.num_rows,
+                qualifying_rows=outcome.qualifying,
+            )
+            outcome.fill_extras(stats.extras)
+            return outcome.result, stats
         if plan.strategy is ExecutionStrategy.FUSED:
             result, intermediate, qualifying = run_fused_interpreted(
                 info, plan.layouts, self.config.vector_size
@@ -167,7 +207,10 @@ class Executor:
     # Generated path --------------------------------------------------------
 
     def _run_generated(
-        self, info: QueryInfo, plan: AccessPlan
+        self,
+        info: QueryInfo,
+        plan: AccessPlan,
+        deadline_check: DeadlineCheck = None,
     ) -> Tuple[QueryResult, ExecStats]:
         from ..codegen.generator import generate_operator
 
@@ -186,9 +229,36 @@ class Executor:
                 raise
             with self._fallback_lock:
                 self.codegen_fallbacks += 1
-            result, stats = self._run_interpreted(info, plan)
+            result, stats = self._run_interpreted(info, plan, deadline_check)
             stats.extras["codegen_fallback"] = True
             return result, stats
+        pool = self._pool()
+        num_rows = plan.layouts[0].num_rows
+        mp = plan_morsels(
+            info, plan.layouts, num_rows, self.morsel_settings, pool
+        )
+        if mp is not None:
+            outcome = run_generated_morsels(
+                operator.kernel,
+                operator.params,
+                info,
+                plan.layouts,
+                mp,
+                pool,
+                deadline_check,
+            )
+            stats = ExecStats(
+                strategy=plan.strategy,
+                plan=plan.describe(),
+                used_codegen=True,
+                codegen_cache_hit=cache_hit,
+                codegen_seconds=gen_seconds,
+                rows_out=outcome.result.num_rows,
+                qualifying_rows=outcome.qualifying,
+            )
+            outcome.fill_extras(stats.extras)
+            stats.extras["operator"] = operator
+            return outcome.result, stats
         result, intermediate, qualifying = operator.run(plan.layouts)
         stats = ExecStats(
             strategy=plan.strategy,

@@ -1,0 +1,410 @@
+"""Morsel-driven scan execution with zone-map pruning.
+
+A *morsel* is an aligned ``(lo, hi)`` row range of
+``EngineConfig.morsel_rows`` rows.  This module turns one access plan
+into per-morsel work items, prunes morsels that zone maps prove empty,
+dispatches the survivors over the shared :class:`ScanPool`, and combines
+the per-morsel partial results **in morsel-index order** — regardless of
+thread completion order — so parallel answers are bit-identical to
+serial execution.
+
+Both execution flavours run per-morsel:
+
+- *generated*: the compiled kernel is invoked with its ``lo``/``hi``
+  slice parameters (``partial=True`` for aggregations), so one cached
+  operator serves the serial and the parallel path alike;
+- *interpreted*: the generic evaluator runs on sliced column views with
+  one accumulator set per morsel.
+
+Pruning is exact — a pruned morsel provably holds zero qualifying rows
+(see :mod:`repro.storage.zonemap`) — so the sum of per-morsel qualifying
+counts equals the full-scan qualifying count.  That keeps the engine's
+selectivity feedback (qualifying / num_rows) unskewed by pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import EngineConfig
+from ..sql.analyzer import QueryInfo
+from ..sql.expressions import AggregateFunc
+from ..storage.layout import Layout
+from ..storage.zonemap import (
+    conjunct_bounds,
+    ensure_attr_stats,
+    morsel_ranges,
+    num_morsels_for,
+    prune_mask,
+)
+from .evaluator import (
+    AggregateAccumulator,
+    collect_aggregates,
+    evaluate_predicate,
+    evaluate_value,
+    finalize_output,
+)
+from .parallel import ScanPool
+from .result import QueryResult
+from .volcano import projection_dtype
+
+#: Optional per-morsel cancellation hook (the engine passes its deadline
+#: check, which raises QueryTimeoutError when the budget is exhausted).
+DeadlineCheck = Optional[Callable[[], None]]
+
+
+@dataclass(frozen=True)
+class MorselSettings:
+    """The execution-relevant subset of the parallel-scan knobs."""
+
+    parallel: bool
+    zone_maps: bool
+    morsel_rows: int
+    threshold_rows: int
+    max_threads: int  # per-query thread cap; 0 = pool maximum
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "MorselSettings":
+        return cls(
+            parallel=config.parallel_scans,
+            zone_maps=config.zone_maps,
+            morsel_rows=config.morsel_rows,
+            threshold_rows=config.parallel_threshold_rows,
+            max_threads=config.max_scan_threads,
+        )
+
+
+@dataclass
+class MorselOutcome:
+    """Result + telemetry of one morsel-driven execution."""
+
+    result: QueryResult
+    qualifying: Optional[int]
+    morsels_total: int
+    morsels_pruned: int
+    threads_used: int
+    parallel: bool
+
+    def fill_extras(self, extras: dict) -> None:
+        extras["morsels_total"] = self.morsels_total
+        extras["morsels_pruned"] = self.morsels_pruned
+        extras["scan_threads_used"] = self.threads_used
+        extras["parallel"] = self.parallel
+
+
+@dataclass(frozen=True)
+class _MorselPlan:
+    """The dispatch decision for one query over one layout set."""
+
+    ranges: List[Tuple[int, int]]  # surviving morsels, index order
+    morsels_total: int
+    morsels_pruned: int
+    want_threads: int  # 1 = morsel-serial (pruning only)
+
+
+def keep_mask_for(
+    info: QueryInfo,
+    layouts: Sequence[Layout],
+    num_rows: int,
+    morsel_rows: int,
+) -> Optional[np.ndarray]:
+    """Per-morsel keep mask from zone maps, or None when nothing prunes.
+
+    Stats are resolved per predicate attribute from its narrowest
+    providing layout (all layouts are row-aligned, so any provider's
+    stats are equally valid) and built lazily on first consultation.
+    """
+    if not info.has_predicate:
+        return None
+    predicates = info.query.predicates
+    if not any(conjunct_bounds(c) is not None for c in predicates):
+        return None
+    num = num_morsels_for(num_rows, morsel_rows)
+    if num == 0:
+        return None
+
+    def stats_for(attr: str):
+        candidates = [lay for lay in layouts if attr in lay.attr_set]
+        if not candidates:
+            return None
+        layout = min(candidates, key=lambda lay: lay.width)
+        return ensure_attr_stats(layout, attr, morsel_rows)
+
+    return prune_mask(num, predicates, stats_for)
+
+
+def plan_morsels(
+    info: QueryInfo,
+    layouts: Sequence[Layout],
+    num_rows: int,
+    settings: MorselSettings,
+    pool: ScanPool,
+) -> Optional[_MorselPlan]:
+    """Decide whether this query runs morsel-driven, and on how much.
+
+    Returns None when plain serial execution is both correct and
+    cheapest: morsels add value only via parallelism (above the row
+    threshold) or via pruning (zone maps removed at least one morsel).
+    """
+    if not (settings.parallel or settings.zone_maps):
+        return None
+    if not info.all_attrs or num_rows == 0:
+        return None
+    total = num_morsels_for(num_rows, settings.morsel_rows)
+    keep = (
+        keep_mask_for(info, layouts, num_rows, settings.morsel_rows)
+        if settings.zone_maps
+        else None
+    )
+    ranges = morsel_ranges(num_rows, settings.morsel_rows)
+    if keep is not None:
+        surviving = [ranges[i] for i in np.flatnonzero(keep)]
+    else:
+        surviving = ranges
+    pruned = total - len(surviving)
+    parallel_eligible = (
+        settings.parallel
+        and num_rows >= settings.threshold_rows
+        and len(surviving) > 1
+        and pool.max_threads > 1
+    )
+    if not parallel_eligible and pruned == 0:
+        return None  # serial whole-table scan is strictly cheaper
+    want = 1
+    if parallel_eligible:
+        cap = settings.max_threads or pool.max_threads
+        want = max(1, min(cap, len(surviving)))
+    return _MorselPlan(
+        ranges=surviving,
+        morsels_total=total,
+        morsels_pruned=pruned,
+        want_threads=want,
+    )
+
+
+def _dispatch(
+    mp: _MorselPlan,
+    pool: ScanPool,
+    fn: Callable[[int], None],
+) -> Tuple[int, bool]:
+    """Run ``fn`` over the surviving morsel indices; returns
+    ``(threads_used, went_parallel)``."""
+    count = len(mp.ranges)
+    if mp.want_threads <= 1:
+        for index in range(count):
+            fn(index)
+        return 1, False
+    with pool.acquire(mp.want_threads) as grant:
+        used = grant.map_indexed(count, fn)
+    return used, used > 1
+
+
+# Generated (compiled-kernel) path -------------------------------------
+
+
+def run_generated_morsels(
+    kernel,
+    params: Tuple[object, ...],
+    info: QueryInfo,
+    layouts: Sequence[Layout],
+    mp: _MorselPlan,
+    pool: ScanPool,
+    deadline_check: DeadlineCheck = None,
+) -> MorselOutcome:
+    """Execute a compiled kernel morsel-at-a-time over ``layouts``."""
+    buffers = tuple(layout.data for layout in layouts)
+    names = [out.name for out in info.query.select]
+    count = len(mp.ranges)
+    results: List[object] = [None] * count
+    if info.is_aggregation:
+
+        def run_agg(index: int) -> None:
+            if deadline_check is not None:
+                deadline_check()
+            lo, hi = mp.ranges[index]
+            results[index] = kernel(buffers, params, lo, hi, True)
+
+        used, went_parallel = _dispatch(mp, pool, run_agg)
+        result, qualifying = _combine_generated_aggregates(
+            info, names, results
+        )
+    else:
+
+        def run_proj(index: int) -> None:
+            if deadline_check is not None:
+                deadline_check()
+            lo, hi = mp.ranges[index]
+            results[index] = kernel(buffers, params, lo, hi)
+
+        used, went_parallel = _dispatch(mp, pool, run_proj)
+        blocks = [block for block in results if block.shape[0]]
+        result = QueryResult.from_blocks(
+            names, blocks, projection_dtype(info)
+        )
+        qualifying = result.num_rows
+    return MorselOutcome(
+        result=result,
+        qualifying=qualifying,
+        morsels_total=mp.morsels_total,
+        morsels_pruned=mp.morsels_pruned,
+        threads_used=used,
+        parallel=went_parallel,
+    )
+
+
+def _combine_generated_aggregates(
+    info: QueryInfo, names: List[str], payloads: Sequence[object]
+) -> Tuple[QueryResult, int]:
+    """Fold per-morsel ``(count, states)`` payloads in morsel order.
+
+    State contract per slot (see codegen/templates.py): COUNT → None,
+    SUM/AVG → running float sum, MIN/MAX → float or None.  Pruned
+    morsels contribute nothing — exactly what executing them would have
+    contributed, since they hold zero qualifying rows.
+    """
+    aggregates = collect_aggregates(info.query.select)
+    cnt = 0.0
+    sums = [0.0] * len(aggregates)
+    mins: List[Optional[float]] = [None] * len(aggregates)
+    maxs: List[Optional[float]] = [None] * len(aggregates)
+    for payload in payloads:
+        part_cnt, states = payload
+        cnt += part_cnt
+        for i, agg in enumerate(aggregates):
+            state = states[i]
+            if agg.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+                sums[i] += state
+            elif agg.func is AggregateFunc.MIN and state is not None:
+                mins[i] = state if mins[i] is None else min(mins[i], state)
+            elif agg.func is AggregateFunc.MAX and state is not None:
+                maxs[i] = state if maxs[i] is None else max(maxs[i], state)
+    agg_values = {}
+    for i, agg in enumerate(aggregates):
+        if agg.func is AggregateFunc.COUNT:
+            agg_values[agg] = float(cnt)
+        elif agg.func is AggregateFunc.SUM:
+            agg_values[agg] = sums[i]
+        elif agg.func is AggregateFunc.AVG:
+            agg_values[agg] = sums[i] / cnt if cnt else float("nan")
+        elif agg.func is AggregateFunc.MIN:
+            agg_values[agg] = (
+                mins[i] if mins[i] is not None else float("nan")
+            )
+        else:
+            agg_values[agg] = (
+                maxs[i] if maxs[i] is not None else float("nan")
+            )
+    values = [
+        float(finalize_output(out.expr, agg_values))
+        for out in info.query.select
+    ]
+    return QueryResult.scalar_row(names, values), int(cnt)
+
+
+# Interpreted path -----------------------------------------------------
+
+
+def _narrowest_columns(
+    layouts: Sequence[Layout], attrs: Sequence[str]
+) -> dict:
+    columns = {}
+    for attr in attrs:
+        candidates = [lay for lay in layouts if attr in lay.attr_set]
+        provider = min(candidates, key=lambda lay: lay.width)
+        columns[attr] = provider.column(attr)
+    return columns
+
+
+def run_interpreted_morsels(
+    info: QueryInfo,
+    layouts: Sequence[Layout],
+    mp: _MorselPlan,
+    pool: ScanPool,
+    deadline_check: DeadlineCheck = None,
+) -> MorselOutcome:
+    """Execute the generic evaluator morsel-at-a-time over ``layouts``."""
+    columns = _narrowest_columns(layouts, info.all_attrs)
+    names = [out.name for out in info.query.select]
+    aggregates = (
+        collect_aggregates(info.query.select) if info.is_aggregation else ()
+    )
+    out_dtype = None if info.is_aggregation else projection_dtype(info)
+    num_outputs = len(info.query.select)
+    count = len(mp.ranges)
+    results: List[object] = [None] * count
+
+    def run_one(index: int) -> None:
+        if deadline_check is not None:
+            deadline_check()
+        lo, hi = mp.ranges[index]
+
+        def resolve(name: str) -> np.ndarray:
+            return columns[name][lo:hi]
+
+        if info.has_predicate:
+            mask = evaluate_predicate(info.query.where, resolve)
+            kept = int(np.count_nonzero(mask))
+
+            def resolve_rows(name: str) -> np.ndarray:
+                return resolve(name)[mask]
+
+        else:
+            kept = hi - lo
+            resolve_rows = resolve
+
+        if info.is_aggregation:
+            states = tuple(
+                AggregateAccumulator(agg.func) for agg in aggregates
+            )
+            if kept:
+                for agg, state in zip(aggregates, states):
+                    if agg.arg is None:
+                        state.update(None, kept)
+                    else:
+                        state.update(
+                            evaluate_value(agg.arg, resolve_rows), kept
+                        )
+            results[index] = (kept, states)
+        else:
+            if kept == 0:
+                results[index] = None
+                return
+            block = np.empty((kept, num_outputs), dtype=out_dtype)
+            for j, out in enumerate(info.query.select):
+                block[:, j] = evaluate_value(out.expr, resolve_rows)
+            results[index] = block
+
+    used, went_parallel = _dispatch(mp, pool, run_one)
+
+    if info.is_aggregation:
+        merged = [AggregateAccumulator(agg.func) for agg in aggregates]
+        qualifying = 0
+        for payload in results:
+            kept, states = payload
+            qualifying += kept
+            for master, part in zip(merged, states):
+                master.merge(part)
+        agg_values = {
+            agg: state.finalize()
+            for agg, state in zip(aggregates, merged)
+        }
+        values = [
+            finalize_output(out.expr, agg_values)
+            for out in info.query.select
+        ]
+        result = QueryResult.scalar_row(names, values)
+    else:
+        blocks = [block for block in results if block is not None]
+        result = QueryResult.from_blocks(names, blocks, out_dtype)
+        qualifying = result.num_rows
+    return MorselOutcome(
+        result=result,
+        qualifying=qualifying,
+        morsels_total=mp.morsels_total,
+        morsels_pruned=mp.morsels_pruned,
+        threads_used=used,
+        parallel=went_parallel,
+    )

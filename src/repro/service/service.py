@@ -41,6 +41,7 @@ from ..errors import (
     ServiceError,
     ServiceOverloadedError,
 )
+from ..execution.parallel import get_scan_pool
 from ..resilience.budget import TokenBucket
 from ..resilience.health import HealthReport
 from ..sql.parser import parse_query
@@ -276,6 +277,15 @@ class H2OService:
         self.retry_backoff = retry_backoff
         self.admission = AdmissionController(max_pending)
         self.stats = ServiceStats()
+        #: Budget the shared scan pool against this service's load: the
+        #: pool deducts the *other* in-flight queries from every
+        #: parallel-scan grant, so a saturated worker pool degrades
+        #: toward one scan thread per query instead of oversubscribing
+        #: the cores (see repro/execution/parallel.py).
+        self._scan_load_key = f"{name}-{next(self._ids)}"
+        get_scan_pool().register_load(
+            self._scan_load_key, self.stats.running
+        )
         self._queue: "queue.SimpleQueue[Optional[_QueryTicket]]" = (
             queue.SimpleQueue()
         )
@@ -645,6 +655,12 @@ class H2OService:
         ticket.complete(report)
         if not ticket.abandoned:
             self.stats.note_completed(time.monotonic() - started)
+            self.stats.note_scan(
+                report.morsels_total,
+                report.morsels_pruned,
+                report.scan_threads_used,
+                report.parallel_scan,
+            )
             if report.degraded:
                 # Correct answer through a fallback rung (codegen
                 # fallback, breaker short-circuit, or aborted online
@@ -682,6 +698,7 @@ class H2OService:
         if self._closed.is_set():
             return
         self._closed.set()
+        get_scan_pool().unregister_load(self._scan_load_key)
         self._watchdog_wake.set()
         if self._watchdog is not None:
             self._watchdog.join(timeout)

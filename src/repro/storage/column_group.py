@@ -34,7 +34,14 @@ class ColumnGroup(Layout):
         table, which classifies it as the row-major layout.
     """
 
-    __slots__ = ("_attrs", "_data", "_positions", "_full_width", "_attr_set_cache")
+    __slots__ = (
+        "_attrs",
+        "_data",
+        "_positions",
+        "_full_width",
+        "_attr_set_cache",
+        "_zone_maps",
+    )
 
     def __init__(
         self,
@@ -147,7 +154,15 @@ class ColumnGroup(Layout):
         for position, attr in enumerate(self._attrs):
             block[:, position] = columns[attr]
         data = np.concatenate([self._data, block], axis=0)
-        return ColumnGroup(self._attrs, data, full_width=self._full_width)
+        grown = ColumnGroup(self._attrs, data, full_width=self._full_width)
+        maps = getattr(self, "_zone_maps", None)
+        if maps is not None:
+            # Incremental zone-map maintenance: reuse every complete
+            # morsel's stats, recompute only the tail (storage/zonemap).
+            from .zonemap import attach_zone_maps, extend_zone_maps
+
+            attach_zone_maps(grown, extend_zone_maps(maps, grown))
+        return grown
 
     def __repr__(self) -> str:
         return (

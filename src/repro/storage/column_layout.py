@@ -18,7 +18,7 @@ from .layout import Layout, LayoutKind
 class SingleColumn(Layout):
     """One attribute stored contiguously."""
 
-    __slots__ = ("_name", "_data", "_attr_set_cache")
+    __slots__ = ("_name", "_data", "_attr_set_cache", "_zone_maps")
 
     def __init__(self, name: str, data: np.ndarray) -> None:
         if data.ndim != 1:
@@ -72,9 +72,17 @@ class SingleColumn(Layout):
                 f"append is missing attribute {self._name!r}"
             )
         new_values = np.asarray(columns[self._name], dtype=self._data.dtype)
-        return SingleColumn(
+        grown = SingleColumn(
             self._name, np.concatenate([self._data, new_values])
         )
+        maps = getattr(self, "_zone_maps", None)
+        if maps is not None:
+            # Incremental zone-map maintenance: reuse every complete
+            # morsel's stats, recompute only the tail (storage/zonemap).
+            from .zonemap import attach_zone_maps, extend_zone_maps
+
+            attach_zone_maps(grown, extend_zone_maps(maps, grown))
+        return grown
 
     def describe(self) -> str:
         return f"column[{self._name}]"

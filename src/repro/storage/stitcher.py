@@ -22,6 +22,7 @@ from .column_group import ColumnGroup
 from .column_layout import SingleColumn
 from .layout import Layout
 from .schema import Schema
+from .zonemap import ZoneMaps, _minmax_per_morsel, attach_zone_maps
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,7 @@ def stitch_group(
     attrs: Sequence[str],
     schema: Schema,
     full_width: bool = False,
+    morsel_rows: int = 0,
 ) -> Tuple[ColumnGroup, TransformStats]:
     """Build a new :class:`ColumnGroup` over ``attrs`` from ``sources``.
 
@@ -77,6 +79,10 @@ def stitch_group(
     in schema order).  The group dtype is the promoted dtype of its
     members.  Returns the new group plus the data-movement stats used by
     the cost model's transformation term (paper Eq. 1).
+
+    When ``morsel_rows`` is positive, per-morsel zone maps are built in
+    the same pass — each source column is reduced while it is still hot
+    from the copy — and attached to the new group.
     """
     attrs = tuple(attrs)
     if not attrs:
@@ -88,9 +94,23 @@ def stitch_group(
     (num_rows,) = rows
     dtype = schema.common_dtype(attrs).numpy_dtype
     data = np.empty((num_rows, len(attrs)), dtype=dtype)
+    mins: Dict[str, np.ndarray] = {}
+    maxs: Dict[str, np.ndarray] = {}
     for position, attr in enumerate(attrs):
-        data[:, position] = providers[attr].column(attr)
+        values = providers[attr].column(attr)
+        data[:, position] = values
+        if morsel_rows > 0:
+            # Fused stats pass: reduce the target column we just wrote
+            # (contiguous in neither axis here, so reduce the written
+            # strided view — the data is cache-resident from the copy).
+            mins[attr], maxs[attr] = _minmax_per_morsel(
+                data[:, position], morsel_rows
+            )
     group = ColumnGroup(attrs, data, full_width=full_width)
+    if morsel_rows > 0:
+        attach_zone_maps(
+            group, ZoneMaps(morsel_rows, num_rows, mins, maxs)
+        )
     stats = TransformStats(
         bytes_read=_read_bytes(providers),
         bytes_written=group.nbytes,
@@ -100,12 +120,16 @@ def stitch_group(
 
 
 def stitch_single_columns(
-    sources: Sequence[Layout], attrs: Iterable[str]
+    sources: Sequence[Layout],
+    attrs: Iterable[str],
+    morsel_rows: int = 0,
 ) -> Tuple[List[SingleColumn], TransformStats]:
     """Decompose attributes out of ``sources`` into single columns.
 
     Used when the advisor decides an attribute is always accessed alone
-    (splitting a group back toward the column-major extreme).
+    (splitting a group back toward the column-major extreme).  With a
+    positive ``morsel_rows``, zone maps are built on the freshly copied
+    (still cache-hot) column and attached.
     """
     attrs = tuple(attrs)
     providers = _plan_sources(sources, attrs)
@@ -114,6 +138,14 @@ def stitch_single_columns(
     for attr in attrs:
         values = np.ascontiguousarray(providers[attr].column(attr))
         column = SingleColumn(attr, values)
+        if morsel_rows > 0:
+            mins, maxs = _minmax_per_morsel(values, morsel_rows)
+            attach_zone_maps(
+                column,
+                ZoneMaps(
+                    morsel_rows, column.num_rows, {attr: mins}, {attr: maxs}
+                ),
+            )
         columns.append(column)
         written += column.nbytes
     stats = TransformStats(

@@ -1,0 +1,398 @@
+"""Per-morsel zone maps (min/max pruning metadata) for every layout.
+
+A *zone map* stores, for each aligned morsel of ``morsel_rows`` rows and
+each attribute a layout holds, the minimum and maximum value occurring in
+that morsel.  The parallel scan subsystem consults them before dispatch
+to skip morsels that provably contain no qualifying rows, and the cost
+model uses the surviving fraction to price pruned scans (the chunk-level
+pruning that dominates scan cost in clustered stores).
+
+Invariants that make the maps cheap to keep correct:
+
+- Layouts are immutable: :meth:`Table.append_rows` replaces layout
+  objects via ``extended()`` rather than mutating them, so a zone map
+  cached on a layout object can never go stale.  Epoch invalidation is
+  therefore satisfied by construction — a new epoch publishes new layout
+  objects, which carry fresh (or incrementally extended) maps.
+- All layouts of one table are row-aligned, so the per-morsel stats for
+  an attribute are identical no matter which layout produced them.
+- Min/max use NaN-ignoring reductions (``np.fmin`` / ``np.fmax``); an
+  all-NaN morsel yields NaN bounds, for which every comparison rule is
+  False — correctly prunable, since predicates on NaN never qualify.
+
+Pruning is *conservative*: any conjunct that is not a simple
+``column <op> literal`` comparison contributes nothing to the mask, and
+attributes without stats keep every morsel.  A pruned morsel therefore
+provably contains zero qualifying rows, which is what keeps per-morsel
+qualifying-row sums exact for selectivity feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..sql.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
+from .layout import Layout
+
+
+def num_morsels_for(num_rows: int, morsel_rows: int) -> int:
+    """Number of aligned morsels covering ``num_rows`` rows."""
+    if morsel_rows <= 0:
+        raise LayoutError(f"morsel_rows must be positive: {morsel_rows}")
+    return (num_rows + morsel_rows - 1) // morsel_rows
+
+
+def morsel_ranges(num_rows: int, morsel_rows: int) -> List[Tuple[int, int]]:
+    """Aligned ``(lo, hi)`` row ranges of at most ``morsel_rows`` rows."""
+    return [
+        (lo, min(lo + morsel_rows, num_rows))
+        for lo in range(0, num_rows, morsel_rows)
+    ]
+
+
+class ZoneMaps:
+    """Immutable per-morsel min/max stats for one layout's attributes."""
+
+    __slots__ = ("morsel_rows", "num_rows", "mins", "maxs")
+
+    def __init__(
+        self,
+        morsel_rows: int,
+        num_rows: int,
+        mins: Dict[str, np.ndarray],
+        maxs: Dict[str, np.ndarray],
+    ) -> None:
+        self.morsel_rows = int(morsel_rows)
+        self.num_rows = int(num_rows)
+        self.mins = mins
+        self.maxs = maxs
+
+    @property
+    def num_morsels(self) -> int:
+        return num_morsels_for(self.num_rows, self.morsel_rows)
+
+    @property
+    def attrs(self) -> Tuple[str, ...]:
+        return tuple(self.mins)
+
+    def stats_for(self, attr: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(mins, maxs)`` arrays for ``attr`` or None if not tracked."""
+        mins = self.mins.get(attr)
+        if mins is None:
+            return None
+        return mins, self.maxs[attr]
+
+    def __repr__(self) -> str:
+        return (
+            f"ZoneMaps(rows={self.num_rows}, morsel_rows={self.morsel_rows}, "
+            f"attrs={list(self.mins)})"
+        )
+
+
+def _minmax_per_morsel(
+    values: np.ndarray, morsel_rows: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-morsel (min, max) of a 1-D array, NaN-ignoring."""
+    n = int(values.shape[0])
+    num = num_morsels_for(n, morsel_rows)
+    full = n // morsel_rows
+    mins = np.empty(num, dtype=values.dtype)
+    maxs = np.empty(num, dtype=values.dtype)
+    if full:
+        head = np.ascontiguousarray(values[: full * morsel_rows])
+        head = head.reshape(full, morsel_rows)
+        np.fmin.reduce(head, axis=1, out=mins[:full])
+        np.fmax.reduce(head, axis=1, out=maxs[:full])
+    if num > full:
+        tail = values[full * morsel_rows :]
+        mins[full] = np.fmin.reduce(tail)
+        maxs[full] = np.fmax.reduce(tail)
+    return mins, maxs
+
+
+def build_zone_maps(layout: Layout, morsel_rows: int) -> ZoneMaps:
+    """Build zone maps for every attribute of ``layout`` from scratch.
+
+    Column groups are reduced morsel-block at a time over the contiguous
+    2-D array (one cache-friendly pass produces stats for all group
+    attributes at once); single columns use a reshape-based reduction.
+    """
+    num_rows = layout.num_rows
+    attrs = layout.attrs
+    data = getattr(layout, "data", None)
+    mins: Dict[str, np.ndarray] = {}
+    maxs: Dict[str, np.ndarray] = {}
+    if data is not None and getattr(data, "ndim", 0) == 2:
+        num = num_morsels_for(num_rows, morsel_rows)
+        block_mins = np.empty((num, len(attrs)), dtype=data.dtype)
+        block_maxs = np.empty((num, len(attrs)), dtype=data.dtype)
+        for i, (lo, hi) in enumerate(morsel_ranges(num_rows, morsel_rows)):
+            block = data[lo:hi]
+            np.fmin.reduce(block, axis=0, out=block_mins[i])
+            np.fmax.reduce(block, axis=0, out=block_maxs[i])
+        for j, attr in enumerate(attrs):
+            mins[attr] = np.ascontiguousarray(block_mins[:, j])
+            maxs[attr] = np.ascontiguousarray(block_maxs[:, j])
+    else:
+        for attr in attrs:
+            mins[attr], maxs[attr] = _minmax_per_morsel(
+                layout.column(attr), morsel_rows
+            )
+    return ZoneMaps(morsel_rows, num_rows, mins, maxs)
+
+
+def extend_zone_maps(old: ZoneMaps, layout: Layout) -> ZoneMaps:
+    """Incrementally extend ``old`` to cover the appended-to ``layout``.
+
+    Complete morsels of the old map are reused untouched; only the tail
+    morsel that grew plus any brand-new morsels are recomputed from the
+    new layout.  This is what :meth:`Table.append_rows` relies on to keep
+    zone maps up to date without a full rebuild per append.
+    """
+    m = old.morsel_rows
+    num_rows = layout.num_rows
+    if num_rows < old.num_rows:
+        raise LayoutError(
+            f"cannot extend zone maps backwards: {old.num_rows} -> {num_rows}"
+        )
+    complete = old.num_rows // m
+    num = num_morsels_for(num_rows, m)
+    mins: Dict[str, np.ndarray] = {}
+    maxs: Dict[str, np.ndarray] = {}
+    for attr in layout.attrs:
+        stats = old.stats_for(attr)
+        column = layout.column(attr)
+        if stats is None:
+            mins[attr], maxs[attr] = _minmax_per_morsel(column, m)
+            continue
+        old_mins, old_maxs = stats
+        new_mins = np.empty(num, dtype=column.dtype)
+        new_maxs = np.empty(num, dtype=column.dtype)
+        new_mins[:complete] = old_mins[:complete]
+        new_maxs[:complete] = old_maxs[:complete]
+        if num > complete:
+            tail_mins, tail_maxs = _minmax_per_morsel(
+                column[complete * m :], m
+            )
+            new_mins[complete:] = tail_mins
+            new_maxs[complete:] = tail_maxs
+        mins[attr] = new_mins
+        maxs[attr] = new_maxs
+    return ZoneMaps(m, num_rows, mins, maxs)
+
+
+def attach_zone_maps(layout: Layout, maps: ZoneMaps) -> None:
+    """Cache ``maps`` on ``layout`` (no-op for layouts without the slot)."""
+    try:
+        object.__setattr__(layout, "_zone_maps", maps)
+    except AttributeError:
+        pass
+
+
+def cached_zone_maps(layout: Layout) -> Optional[ZoneMaps]:
+    """The zone maps already attached to ``layout``, if any."""
+    return getattr(layout, "_zone_maps", None)
+
+
+def layout_zone_maps(layout: Layout, morsel_rows: int) -> ZoneMaps:
+    """Zone maps for ``layout``, built lazily and cached on the object.
+
+    The cache uses the same benign-race pattern as ``attr_set``: layouts
+    are immutable, so two threads building concurrently produce
+    identical maps and the last write wins.  A cached map is only reused
+    when its granularity and row count match (a defensive check; row
+    counts cannot actually diverge on an immutable layout).
+    """
+    cached = cached_zone_maps(layout)
+    if (
+        cached is not None
+        and cached.morsel_rows == morsel_rows
+        and cached.num_rows == layout.num_rows
+    ):
+        return cached
+    maps = build_zone_maps(layout, morsel_rows)
+    attach_zone_maps(layout, maps)
+    return maps
+
+
+class ZoneMapBuilder:
+    """Accumulates per-block min/max during a fused stitching pass.
+
+    The online reorganizer evaluates the query and writes the new layout
+    block by block; feeding each stitched block here lets it produce the
+    new layout's zone maps in the same single pass over the data.  Blocks
+    must arrive in row order and must not straddle morsel boundaries
+    (guaranteed because ``EngineConfig`` enforces
+    ``morsel_rows % vector_size == 0``).
+    """
+
+    def __init__(self, attrs: Sequence[str], morsel_rows: int) -> None:
+        self.attrs = tuple(attrs)
+        self.morsel_rows = int(morsel_rows)
+        self._block_mins: List[np.ndarray] = []
+        self._block_maxs: List[np.ndarray] = []
+        self._block_starts: List[int] = []
+        self._rows_seen = 0
+
+    def add_block(self, start: int, block: np.ndarray) -> None:
+        """Record stats for the stitched ``(rows, width)`` block."""
+        rows = int(block.shape[0])
+        if rows == 0:
+            return
+        if start != self._rows_seen:
+            raise LayoutError(
+                f"zone-map blocks must arrive in order: expected row "
+                f"{self._rows_seen}, got {start}"
+            )
+        m = self.morsel_rows
+        if start // m != (start + rows - 1) // m:
+            raise LayoutError(
+                f"block [{start}, {start + rows}) straddles a morsel "
+                f"boundary (morsel_rows={m})"
+            )
+        self._block_mins.append(np.fmin.reduce(block, axis=0))
+        self._block_maxs.append(np.fmax.reduce(block, axis=0))
+        self._block_starts.append(start)
+        self._rows_seen += rows
+
+    def finish(self) -> ZoneMaps:
+        """Reduce accumulated block stats into per-morsel zone maps."""
+        num_rows = self._rows_seen
+        m = self.morsel_rows
+        num = num_morsels_for(num_rows, m)
+        width = len(self.attrs)
+        mins: Dict[str, np.ndarray] = {}
+        maxs: Dict[str, np.ndarray] = {}
+        if num == 0:
+            dtype = (
+                self._block_mins[0].dtype if self._block_mins else np.float64
+            )
+            for attr in self.attrs:
+                mins[attr] = np.empty(0, dtype=dtype)
+                maxs[attr] = np.empty(0, dtype=dtype)
+            return ZoneMaps(m, num_rows, mins, maxs)
+        bmins = np.vstack(self._block_mins)
+        bmaxs = np.vstack(self._block_maxs)
+        morsel_of = np.asarray(self._block_starts, dtype=np.int64) // m
+        # Blocks arrive in order, so each morsel's blocks form one
+        # contiguous run; reduceat over the run starts collapses them.
+        seg_starts = np.searchsorted(morsel_of, np.arange(num))
+        for j in range(width):
+            attr = self.attrs[j]
+            mins[attr] = np.fmin.reduceat(
+                np.ascontiguousarray(bmins[:, j]), seg_starts
+            )
+            maxs[attr] = np.fmax.reduceat(
+                np.ascontiguousarray(bmaxs[:, j]), seg_starts
+            )
+        return ZoneMaps(m, num_rows, mins, maxs)
+
+
+def ensure_attr_stats(
+    layout: Layout, attr: str, morsel_rows: int
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Per-morsel ``(mins, maxs)`` for one attribute, lazily cached.
+
+    Unlike :func:`layout_zone_maps` this never builds stats for the
+    layout's *other* attributes — execution-time pruning only pays for
+    the predicate columns it actually consults (one min/max scan the
+    first time, then cached until the immutable layout is replaced).
+    Existing cached maps are extended copy-on-write; a concurrent racer
+    produces an identical object and the last write wins.
+    """
+    if attr not in layout.attr_set:
+        return None
+    maps = cached_zone_maps(layout)
+    valid = (
+        maps is not None
+        and maps.morsel_rows == morsel_rows
+        and maps.num_rows == layout.num_rows
+    )
+    if valid:
+        stats = maps.stats_for(attr)
+        if stats is not None:
+            return stats
+    mins, maxs = _minmax_per_morsel(layout.column(attr), morsel_rows)
+    if valid:
+        new_mins = dict(maps.mins)
+        new_maxs = dict(maps.maxs)
+    else:
+        new_mins, new_maxs = {}, {}
+    new_mins[attr] = mins
+    new_maxs[attr] = maxs
+    attach_zone_maps(
+        layout, ZoneMaps(morsel_rows, layout.num_rows, new_mins, new_maxs)
+    )
+    return mins, maxs
+
+
+# Pruning --------------------------------------------------------------
+
+
+def conjunct_bounds(
+    conjunct: Expr,
+) -> Optional[Tuple[str, ComparisonOp, float]]:
+    """Normalize a conjunct to ``(attr, op, literal)`` if it is a simple
+    single-column comparison; None otherwise (no pruning contribution).
+
+    Literal-on-the-left comparisons are normalized with
+    :meth:`ComparisonOp.flipped` so ``5 < a`` prunes like ``a > 5``.
+    """
+    if not isinstance(conjunct, Comparison):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left.name, conjunct.op, float(right.value)
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        return right.name, conjunct.op.flipped(), float(left.value)
+    return None
+
+
+def _rule(
+    op: ComparisonOp, mins: np.ndarray, maxs: np.ndarray, value: float
+) -> np.ndarray:
+    """Boolean keep-mask: True where the morsel *may* hold a match."""
+    if op is ComparisonOp.LT:
+        return mins < value
+    if op is ComparisonOp.LE:
+        return mins <= value
+    if op is ComparisonOp.GT:
+        return maxs > value
+    if op is ComparisonOp.GE:
+        return maxs >= value
+    if op is ComparisonOp.EQ:
+        return (mins <= value) & (maxs >= value)
+    if op is ComparisonOp.NE:
+        return ~((mins == value) & (maxs == value))
+    raise LayoutError(f"unknown comparison operator: {op}")  # pragma: no cover
+
+
+def prune_mask(
+    num_morsels: int,
+    conjuncts: Iterable[Expr],
+    stats_for: Callable[[str], Optional[Tuple[np.ndarray, np.ndarray]]],
+) -> np.ndarray:
+    """Per-morsel keep mask for a conjunctive predicate.
+
+    ``stats_for(attr)`` supplies ``(mins, maxs)`` arrays (or None when
+    the attribute has no stats).  Conjuncts that cannot be normalized and
+    attributes without stats keep every morsel — pruning only ever
+    removes morsels a simple bound proves empty.
+    """
+    keep = np.ones(num_morsels, dtype=bool)
+    for conjunct in conjuncts:
+        normalized = conjunct_bounds(conjunct)
+        if normalized is None:
+            continue
+        attr, op, value = normalized
+        stats = stats_for(attr)
+        if stats is None:
+            continue
+        mins, maxs = stats
+        if mins.shape[0] != num_morsels:
+            continue  # stale / mismatched granularity: prune nothing
+        keep &= _rule(op, mins, maxs, value)
+    return keep

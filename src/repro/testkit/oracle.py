@@ -1,7 +1,7 @@
 """The differential oracle: adaptation must be invisible in answers.
 
 One generated :class:`~repro.testkit.generate.CaseSpec` is executed
-through six independent paths, each over its *own* copy of the same
+through seven independent paths, each over its *own* copy of the same
 deterministic data:
 
 1. **row reference** — the static row-store baseline, interpreted
@@ -16,7 +16,13 @@ deterministic data:
    plan-cache hits all happen inside a short sequence;
 5. **adaptive interpreted** — the same engine with codegen disabled;
 6. **adaptive background** — the engine behind the concurrent service
-   with N workers and the background adaptation scheduler.
+   with N workers and the background adaptation scheduler;
+7. **adaptive parallel** — the full engine with morsel-driven parallel
+   scans on a dedicated 4-thread :class:`~repro.execution.parallel.
+   ScanPool` and tiny morsels (so even small cases split into many),
+   checked both against the row reference and against a morsel-serial
+   twin: answers bit-identical *and* ``morsels_pruned`` equal — the
+   zone-map pruning decision must not depend on the thread count.
 
 Every mode must produce **bit-identical** :class:`~repro.execution.
 result.QueryResult` data (the generator bounds values so all float64
@@ -72,6 +78,7 @@ CLEAN_MODES = (
     "adaptive-inline",
     "adaptive-interpreted",
     "adaptive-background",
+    "adaptive-parallel",
 )
 
 
@@ -219,6 +226,7 @@ class DifferentialOracle:
         self._run_adaptive(spec, expected, use_codegen=True)
         self._run_adaptive(spec, expected, use_codegen=False)
         self._run_service(spec, expected)
+        self._run_adaptive_parallel(spec, expected)
         outcome.queries_checked = len(expected) * (len(CLEAN_MODES) + 1)
         if self.with_faults:
             fired_inline = self._run_faulted_inline(spec, expected)
@@ -276,6 +284,77 @@ class DifferentialOracle:
                     f"[{mode}] report pinned epoch {report.snapshot_epoch} "
                     f"newer than the table's {epoch}"
                 )
+
+    def _run_adaptive_parallel(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> None:
+        """Parallel morsel path vs a morsel-serial twin of itself.
+
+        Both engines share every adaptive knob (tiny morsels so even a
+        small case splits into many, threshold 1 so every scan is
+        parallel-eligible); only ``parallel_scans`` differs, and the
+        parallel engine gets a dedicated 4-thread pool so the check is
+        independent of the host's core count.  Adaptation is
+        deterministic and blind to the thread count, so the two engines
+        evolve identical layouts — which lets the oracle assert the
+        *stronger* property: per query, answers are bit-identical to
+        the row reference **and** ``morsels_pruned`` matches between
+        parallel and serial execution (zone-map pruning must be a pure
+        function of data + predicate, never of scheduling).
+        """
+        from ..execution.parallel import ScanPool
+
+        mode = "adaptive-parallel"
+        morsel_knobs = dict(
+            vector_size=64,
+            morsel_rows=128,
+            max_scan_threads=4,
+        )
+        engine = H2OEngine(
+            spec.build_table(),
+            self._adaptive_config(
+                parallel_threshold_rows=1, **morsel_knobs
+            ),
+        )
+        engine.executor.scan_pool = ScanPool(max_threads=4)
+        twin = H2OEngine(
+            spec.build_table(),
+            self._adaptive_config(parallel_scans=False, **morsel_knobs),
+        )
+        epoch = 0
+        for index, query in enumerate(spec.parsed()):
+            report = engine.execute(query)
+            twin_report = twin.execute(query)
+            if not results_identical(report.result, expected[index]):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index,
+                        spec.queries[index],
+                        report.result,
+                        expected[index],
+                        mode,
+                    )
+                )
+            if not results_identical(report.result, twin_report.result):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index,
+                        spec.queries[index],
+                        report.result,
+                        twin_report.result,
+                        f"{mode} (vs morsel-serial twin)",
+                    )
+                )
+            if report.morsels_pruned != twin_report.morsels_pruned:
+                raise OracleFailure(
+                    f"[{mode}] query #{index} pruning diverged between "
+                    f"parallel ({report.morsels_pruned}/"
+                    f"{report.morsels_total}) and serial "
+                    f"({twin_report.morsels_pruned}/"
+                    f"{twin_report.morsels_total}) execution\n"
+                    f"  sql: {spec.queries[index]}"
+                )
+            epoch = check_engine_invariants(engine, epoch, mode)
 
     def _run_service(
         self, spec: CaseSpec, expected: Sequence[QueryResult]

@@ -1,0 +1,694 @@
+"""Morsel-driven parallel scans and zone-map pruning.
+
+Covers the PR 5 subsystem bottom-up:
+
+- **ScanPool units** — grant budget arithmetic (external load deducts
+  from the helper budget), dynamic work stealing covering every index
+  exactly once, and error propagation out of helper threads;
+- **plan_morsels decisions** — when morsel execution engages (parallel
+  above the row threshold, pruning at any size) and when plain serial
+  execution is the chosen fast path;
+- **prune_mask rules** — every comparison operator's keep rule,
+  literal-on-the-left normalization, conservative fallbacks, NaN;
+- **zone-map exactness properties** (hypothesis) — built, extended
+  (append), and stitched zone maps always equal brute-force per-morsel
+  min/max, and a pruned morsel provably holds zero qualifying rows;
+- **engine-level bit-identity** — parallel answers equal serial answers
+  bit for bit, through the fast lane and with fresh literals;
+- **per-morsel deadline** — the once-latch increments
+  ``deadline_aborts`` exactly once under concurrent expiry;
+- **parallel_stress** — scan-pool helpers racing service workers,
+  background adaptation, and concurrent appends (dedicated CI job).
+
+The generated tables hold integers with |v| < 2**31, so float64 sums
+over a few thousand rows are exact and order-independent: parallel and
+serial runs must agree bit-for-bit, not approximately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import wait_until
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.errors import QueryTimeoutError
+from repro.execution.morsel import (
+    MorselSettings,
+    keep_mask_for,
+    plan_morsels,
+)
+from repro.execution.parallel import ScanPool
+from repro.sql import parse_query
+from repro.sql.analyzer import analyze_query
+from repro.sql.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+)
+from repro.storage import Schema, Table, generate_table
+from repro.storage.stitcher import stitch_group, stitch_single_columns
+from repro.storage.zonemap import (
+    layout_zone_maps,
+    morsel_ranges,
+    num_morsels_for,
+    prune_mask,
+)
+
+
+def make_info(table: Table, sql: str):
+    return analyze_query(parse_query(sql), table.schema)
+
+
+def settings_for(config: EngineConfig) -> MorselSettings:
+    return MorselSettings.from_config(config)
+
+
+# ---------------------------------------------------------------------------
+# ScanPool: grant arithmetic, work stealing, error propagation
+# ---------------------------------------------------------------------------
+
+
+class TestScanPool:
+    def test_grant_budget_and_release(self):
+        pool = ScanPool(max_threads=4)
+        grant = pool.acquire(4)
+        assert grant.threads == 4  # caller + 3 helpers
+        # Helpers already reserved: a second caller gets what is left.
+        second = pool.acquire(4)
+        assert second.threads == 1  # 1 (caller) + 3 reserved = 4 occupied
+        second.release()
+        grant.release()
+        # Budget fully restored.
+        with pool.acquire(4) as fresh:
+            assert fresh.threads == 4
+        assert pool.snapshot()["reserved"] == 0
+
+    def test_external_load_degrades_toward_serial(self):
+        pool = ScanPool(max_threads=4)
+        busy = {"count": 0}
+        pool.register_load("svc", lambda: busy["count"])
+        try:
+            # The caller is assumed to be one of the busy workers, so
+            # only the *other* two occupy slots: 4 - (1 + 2) = 1 helper.
+            busy["count"] = 3
+            assert pool.acquire(4).threads == 2
+            # Saturated service: zero helpers, scan runs serially.
+            busy["count"] = 4
+            assert pool.acquire(4).threads == 1
+            # A broken provider is advisory only — never blocks grants.
+            pool.register_load("broken", lambda: 1 // 0)
+            busy["count"] = 0
+            assert pool.acquire(2).threads == 2
+        finally:
+            pool.unregister_load("svc")
+            pool.unregister_load("broken")
+
+    def test_acquire_always_succeeds(self):
+        pool = ScanPool(max_threads=1)
+        with pool.acquire(8) as grant:
+            assert grant.threads == 1  # serial, but never refused
+
+    def test_map_indexed_covers_every_index_exactly_once(self):
+        pool = ScanPool(max_threads=4)
+        total = 257
+        hits = np.zeros(total, dtype=np.int64)
+        lock = threading.Lock()
+
+        def fn(index: int) -> None:
+            with lock:
+                hits[index] += 1
+
+        with pool.acquire(4) as grant:
+            used = grant.map_indexed(total, fn)
+        assert used >= 1
+        assert (hits == 1).all(), "an index was skipped or run twice"
+
+    def test_map_indexed_caps_helpers_at_work_items(self):
+        pool = ScanPool(max_threads=8)
+        with pool.acquire(8) as grant:
+            used = grant.map_indexed(1, lambda i: None)
+        assert used == 1  # one work item never fans out
+
+    def test_map_indexed_propagates_helper_errors(self):
+        pool = ScanPool(max_threads=4)
+
+        def fn(index: int) -> None:
+            if index == 37:
+                raise ValueError("boom at 37")
+
+        with pool.acquire(4) as grant:
+            with pytest.raises(ValueError, match="boom at 37"):
+                grant.map_indexed(100, fn)
+        # The pool survives a failed scan and serves the next one.
+        with pool.acquire(4) as grant:
+            assert grant.map_indexed(16, lambda i: None) >= 1
+        assert pool.snapshot()["reserved"] == 0
+
+
+# ---------------------------------------------------------------------------
+# plan_morsels: when morsel execution engages
+# ---------------------------------------------------------------------------
+
+
+class TestPlanMorsels:
+    def setup_method(self):
+        self.table = generate_table("r", 6, 4096, rng=3)
+        self.pool = ScanPool(max_threads=4)
+
+    def plan(self, sql: str, **overrides):
+        knobs = dict(
+            vector_size=64, morsel_rows=256, parallel_threshold_rows=1024
+        )
+        knobs.update(overrides)
+        config = EngineConfig(**knobs)
+        info = make_info(self.table, sql)
+        return plan_morsels(
+            info,
+            self.table.layouts,
+            self.table.num_rows,
+            settings_for(config),
+            self.pool,
+        )
+
+    def test_disabled_knobs_mean_plain_serial(self):
+        mp = self.plan(
+            "SELECT sum(a1) FROM r WHERE a2 > 0",
+            parallel_scans=False,
+            zone_maps=False,
+        )
+        assert mp is None
+
+    def test_below_threshold_without_pruning_stays_serial(self):
+        mp = self.plan(
+            "SELECT sum(a1) FROM r WHERE a2 > 0",
+            parallel_threshold_rows=1_000_000,
+        )
+        assert mp is None
+
+    def test_pruning_engages_below_the_parallel_threshold(self):
+        # Literal beyond the data range: every morsel is prunable, and
+        # pruning pays regardless of table size.
+        mp = self.plan(
+            "SELECT sum(a1) FROM r WHERE a2 > 4000000000",
+            parallel_threshold_rows=1_000_000,
+        )
+        assert mp is not None
+        assert mp.morsels_total == num_morsels_for(4096, 256)
+        assert mp.morsels_pruned == mp.morsels_total
+        assert mp.ranges == []
+        assert mp.want_threads == 1
+
+    def test_parallel_above_threshold_caps_threads(self):
+        mp = self.plan(
+            "SELECT sum(a1) FROM r WHERE a2 > 0", max_scan_threads=2
+        )
+        assert mp is not None
+        assert mp.want_threads == 2
+        assert mp.morsels_pruned == 0
+        assert mp.ranges == morsel_ranges(4096, 256)
+
+    def test_zero_cap_means_pool_maximum(self):
+        mp = self.plan(
+            "SELECT sum(a1) FROM r WHERE a2 > 0", max_scan_threads=0
+        )
+        assert mp is not None
+        assert mp.want_threads == self.pool.max_threads
+
+    def test_single_thread_pool_still_prunes(self):
+        info = make_info(
+            self.table, "SELECT count(*) FROM r WHERE a1 > 4000000000"
+        )
+        mp = plan_morsels(
+            info,
+            self.table.layouts,
+            self.table.num_rows,
+            settings_for(
+                EngineConfig(
+                    vector_size=64,
+                    morsel_rows=256,
+                    parallel_threshold_rows=1,
+                )
+            ),
+            ScanPool(max_threads=1),
+        )
+        assert mp is not None and mp.want_threads == 1
+        assert mp.morsels_pruned == mp.morsels_total
+
+
+# ---------------------------------------------------------------------------
+# prune_mask: per-operator keep rules
+# ---------------------------------------------------------------------------
+
+
+def cmp(attr: str, op: ComparisonOp, value: float) -> Comparison:
+    return Comparison(op, ColumnRef(attr), Literal(value))
+
+
+class TestPruneRules:
+    # Three morsels with bounds [0,10], [10,20], [20,30].
+    MINS = np.array([0.0, 10.0, 20.0])
+    MAXS = np.array([10.0, 20.0, 30.0])
+
+    def mask(self, *conjuncts):
+        stats = {"a1": (self.MINS, self.MAXS)}
+        return prune_mask(3, conjuncts, lambda attr: stats.get(attr))
+
+    def test_lt_keeps_morsels_whose_min_may_match(self):
+        assert self.mask(cmp("a1", ComparisonOp.LT, 10.0)).tolist() == [
+            True, False, False,
+        ]
+
+    def test_le_uses_inclusive_bound(self):
+        assert self.mask(cmp("a1", ComparisonOp.LE, 10.0)).tolist() == [
+            True, True, False,
+        ]
+
+    def test_gt_keeps_morsels_whose_max_may_match(self):
+        assert self.mask(cmp("a1", ComparisonOp.GT, 20.0)).tolist() == [
+            False, False, True,
+        ]
+
+    def test_ge_uses_inclusive_bound(self):
+        assert self.mask(cmp("a1", ComparisonOp.GE, 20.0)).tolist() == [
+            False, True, True,
+        ]
+
+    def test_eq_keeps_the_covering_morsels(self):
+        assert self.mask(cmp("a1", ComparisonOp.EQ, 15.0)).tolist() == [
+            False, True, False,
+        ]
+
+    def test_ne_prunes_only_constant_morsels(self):
+        mins = np.array([5.0, 0.0])
+        maxs = np.array([5.0, 10.0])
+        mask = prune_mask(
+            2,
+            [cmp("a1", ComparisonOp.NE, 5.0)],
+            lambda attr: (mins, maxs),
+        )
+        assert mask.tolist() == [False, True]
+
+    def test_literal_on_the_left_is_normalized(self):
+        # 20 < a1 prunes like a1 > 20.
+        flipped = Comparison(ComparisonOp.LT, Literal(20.0), ColumnRef("a1"))
+        assert self.mask(flipped).tolist() == [False, False, True]
+
+    def test_conjuncts_intersect(self):
+        mask = self.mask(
+            cmp("a1", ComparisonOp.GT, 5.0), cmp("a1", ComparisonOp.LT, 15.0)
+        )
+        assert mask.tolist() == [True, True, False]
+
+    def test_unknown_attr_and_complex_conjuncts_keep_everything(self):
+        complex_conjunct = Comparison(
+            ComparisonOp.LT, ColumnRef("a1"), ColumnRef("a2")
+        )
+        assert self.mask(cmp("zzz", ComparisonOp.LT, -1.0)).all()
+        assert self.mask(complex_conjunct).all()
+
+    def test_mismatched_stats_length_prunes_nothing(self):
+        stats = (np.zeros(7), np.ones(7))  # wrong granularity
+        mask = prune_mask(
+            3, [cmp("a1", ComparisonOp.LT, -1.0)], lambda attr: stats
+        )
+        assert mask.all()
+
+    def test_all_nan_morsel_is_pruned(self):
+        mins = np.array([np.nan, 0.0])
+        maxs = np.array([np.nan, 10.0])
+        mask = prune_mask(
+            2,
+            [cmp("a1", ComparisonOp.GT, -np.inf)],
+            lambda attr: (mins, maxs),
+        )
+        assert mask.tolist() == [False, True]
+
+
+# ---------------------------------------------------------------------------
+# Zone-map exactness properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+ATTRS = tuple(f"c{i}" for i in range(4))
+
+
+@st.composite
+def zoned_tables(draw):
+    num_rows = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    layout = draw(st.sampled_from(["column", "row"]))
+    morsel_rows = draw(st.sampled_from([16, 32, 64, 128]))
+    rng = np.random.default_rng(seed)
+    columns = {
+        name: rng.integers(-100, 100, size=num_rows, dtype=np.int64)
+        for name in ATTRS
+    }
+    schema = Schema.from_names(ATTRS)
+    table = Table.from_columns("r", schema, columns, layout)
+    return table, columns, morsel_rows
+
+
+def assert_maps_exact(layout, morsel_rows: int) -> None:
+    """Every attribute's zone maps equal brute-force per-morsel min/max."""
+    maps = layout_zone_maps(layout, morsel_rows)
+    ranges = morsel_ranges(layout.num_rows, morsel_rows)
+    assert maps.num_morsels == len(ranges)
+    for attr in layout.attrs:
+        column = np.asarray(layout.column(attr), dtype=np.float64)
+        mins, maxs = maps.stats_for(attr)
+        for i, (lo, hi) in enumerate(ranges):
+            assert mins[i] == column[lo:hi].min()
+            assert maxs[i] == column[lo:hi].max()
+
+
+@given(zoned_tables())
+@settings(max_examples=40, deadline=None)
+def test_zone_maps_exact_after_build_and_append(case):
+    table, columns, morsel_rows = case
+    for layout in table.layouts:
+        assert_maps_exact(layout, morsel_rows)
+    # Append a batch that grows the tail morsel and adds new ones: the
+    # incremental extension must stay brute-force exact.
+    rng = np.random.default_rng(99)
+    batch = int(morsel_rows * 1.5)
+    table.append_rows(
+        {
+            name: rng.integers(-100, 100, size=batch, dtype=np.int64)
+            for name in ATTRS
+        }
+    )
+    for layout in table.layouts:
+        assert_maps_exact(layout, morsel_rows)
+
+
+@given(
+    zoned_tables(),
+    st.lists(st.sampled_from(ATTRS), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=30, deadline=None)
+def test_zone_maps_exact_after_stitch(case, attrs):
+    table, _columns, morsel_rows = case
+    group, _stats = stitch_group(
+        table.layouts, attrs, table.schema, morsel_rows=morsel_rows
+    )
+    assert_maps_exact(group, morsel_rows)
+    singles, _stats = stitch_single_columns(
+        table.layouts, attrs, morsel_rows=morsel_rows
+    )
+    for single in singles:
+        assert_maps_exact(single, morsel_rows)
+
+
+@given(zoned_tables(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_pruned_morsels_hold_zero_qualifying_rows(case, data):
+    """The exactness invariant behind selectivity feedback: a pruned
+    morsel contains no row satisfying the predicate, ever."""
+    table, columns, morsel_rows = case
+    attr = data.draw(st.sampled_from(ATTRS))
+    op = data.draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    value = data.draw(st.integers(min_value=-120, max_value=120))
+    sql = f"SELECT count(*) FROM r WHERE {attr} {op} {value}"
+    info = make_info(table, sql)
+    keep = keep_mask_for(
+        info, table.layouts, table.num_rows, morsel_rows
+    )
+    assert keep is not None
+    column = columns[attr]
+    mask = {
+        "<": column < value,
+        "<=": column <= value,
+        ">": column > value,
+        ">=": column >= value,
+        "=": column == value,
+        "!=": column != value,
+    }[op]
+    for i, (lo, hi) in enumerate(morsel_ranges(table.num_rows, morsel_rows)):
+        if not keep[i]:
+            assert not mask[lo:hi].any(), (
+                f"pruned morsel {i} holds qualifying rows for {sql!r}"
+            )
+    # And the per-morsel sums are exact: survivors account for every
+    # qualifying row.
+    surviving = sum(
+        int(mask[lo:hi].sum())
+        for i, (lo, hi) in enumerate(
+            morsel_ranges(table.num_rows, morsel_rows)
+        )
+        if keep[i]
+    )
+    assert surviving == int(mask.sum())
+
+
+# ---------------------------------------------------------------------------
+# Engine-level: bit-identity, pruning telemetry, fast lane, deadline
+# ---------------------------------------------------------------------------
+
+
+def parallel_config(**overrides) -> EngineConfig:
+    defaults = dict(
+        vector_size=64,
+        morsel_rows=128,
+        parallel_threshold_rows=1,
+        max_scan_threads=4,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def make_parallel_engine(table: Table, **overrides) -> H2OEngine:
+    engine = H2OEngine(table, parallel_config(**overrides))
+    # The container may expose a single core; inject a wider pool so
+    # real helper threads run regardless of the host.
+    engine.executor.scan_pool = ScanPool(max_threads=4)
+    return engine
+
+
+MIXED_SQL = [
+    "SELECT sum(a1 + a2) FROM r WHERE a3 > {t}",
+    "SELECT count(*) FROM r WHERE a4 < {t}",
+    "SELECT min(a5), max(a6) FROM r WHERE a7 > {t} AND a5 < 900000000",
+    "SELECT avg(a2 - a8) FROM r WHERE a1 > {t}",
+    "SELECT a1, a2 FROM r WHERE a3 > 900000000",
+    "SELECT sum(a3) FROM r",
+]
+
+
+class TestEngineParallel:
+    def test_parallel_answers_bit_identical_to_serial(self):
+        parallel = make_parallel_engine(generate_table("r", 8, 4096, rng=21))
+        serial = H2OEngine(
+            generate_table("r", 8, 4096, rng=21),
+            EngineConfig(parallel_scans=False, zone_maps=False),
+        )
+        saw_parallel = False
+        for repeat in range(2):  # second pass rides the fast lane
+            for i, template in enumerate(MIXED_SQL):
+                sql = template.format(t=(i - 3) * 100_000_000)
+                got = parallel.execute(sql)
+                want = serial.execute(sql)
+                assert np.array_equal(
+                    got.result.data, want.result.data, equal_nan=True
+                ), f"parallel diverged on {sql!r}"
+                saw_parallel = saw_parallel or got.parallel_scan
+                if repeat:
+                    assert got.plan_cache_hit or got.adaptation_ran is not None
+        assert saw_parallel, "no query ever ran morsel-parallel"
+
+    def test_selective_query_prunes_most_morsels(self):
+        # Clustered data: a1 is sorted, so a narrow range lives in few
+        # morsels — the zone-map sweet spot the acceptance bar targets.
+        num_rows = 8192
+        rng = np.random.default_rng(5)
+        columns = {
+            "a1": np.arange(num_rows, dtype=np.int64),
+            "a2": rng.integers(-(10**9), 10**9, num_rows, dtype=np.int64),
+        }
+        table = Table.from_columns(
+            "r", Schema.from_names(("a1", "a2")), columns, "column"
+        )
+        engine = make_parallel_engine(table)
+        # < 5% qualifying: rows [0, 256) of 8192.
+        report = engine.execute("SELECT sum(a2) FROM r WHERE a1 < 256")
+        assert report.result.scalars() == (
+            float(columns["a2"][:256].sum()),
+        )
+        assert report.morsels_total == num_morsels_for(num_rows, 128)
+        assert report.morsels_pruned / report.morsels_total >= 0.8, (
+            f"only pruned {report.morsels_pruned}/{report.morsels_total}"
+        )
+
+    def test_fast_lane_reprunes_with_fresh_literals(self):
+        num_rows = 4096
+        columns = {
+            "a1": np.arange(num_rows, dtype=np.int64),
+            "a2": np.arange(num_rows, dtype=np.int64) * 3,
+        }
+        table = Table.from_columns(
+            "r", Schema.from_names(("a1", "a2")), columns, "column"
+        )
+        engine = make_parallel_engine(table)
+        first = engine.execute("SELECT sum(a2) FROM r WHERE a1 < 128")
+        assert first.morsels_pruned > 0
+        # Same shape, new literal: the cached kernel must re-consult the
+        # zone maps for *this* literal, not replay the old keep mask.
+        wide = engine.execute("SELECT sum(a2) FROM r WHERE a1 < 4096")
+        assert wide.plan_cache_hit
+        assert wide.morsels_pruned == 0
+        assert wide.result.scalars() == (float(columns["a2"].sum()),)
+        # (The wide query's selectivity drifts past the fast-lane band,
+        # so this repeat may legitimately re-plan; what matters is that
+        # pruning again reflects the narrow literal.)
+        narrow = engine.execute("SELECT sum(a2) FROM r WHERE a1 < 128")
+        assert narrow.morsels_pruned == first.morsels_pruned
+        assert narrow.result.scalars() == (
+            float(columns["a2"][:128].sum()),
+        )
+
+    def test_projection_results_identical_and_in_row_order(self):
+        parallel = make_parallel_engine(generate_table("r", 6, 3000, rng=9))
+        serial = H2OEngine(
+            generate_table("r", 6, 3000, rng=9),
+            EngineConfig(parallel_scans=False, zone_maps=False),
+        )
+        sql = "SELECT a1, a2 FROM r WHERE a3 > 0"
+        got = parallel.execute(sql)
+        want = serial.execute(sql)
+        assert np.array_equal(got.result.data, want.result.data), (
+            "parallel projection lost row order or rows"
+        )
+
+    def test_morsel_deadline_aborts_once_across_threads(self):
+        engine = make_parallel_engine(generate_table("r", 4, 512, rng=1))
+        check = engine._morsel_deadline(time.monotonic() - 1.0)
+        assert check is not None
+        failures = []
+
+        def worker() -> None:
+            try:
+                check()
+            except QueryTimeoutError:
+                failures.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert len(failures) == 8, "expiry must raise in every thread"
+        assert engine.deadline_aborts == 1, (
+            "the once-latch must count one abort per query, not per thread"
+        )
+        assert engine._morsel_deadline(None) is None
+
+
+# ---------------------------------------------------------------------------
+# Stress: scan pool vs service workers vs background adaptation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parallel_stress
+def test_parallel_scans_race_service_and_appends():
+    """Morsel helpers, service workers, background adaptation, and
+    appends all race; every answer must stay consistent and the pool
+    budget must return to zero."""
+    from repro import H2OService
+
+    table = generate_table("r", 8, 4096, rng=31)
+    base_rows = table.num_rows
+    batch, num_batches = 128, 12
+    valid_counts = {base_rows + k * batch for k in range(num_batches + 1)}
+
+    service = H2OService(
+        config=parallel_config(adaptation_mode="background"),
+        num_workers=4,
+        max_pending=4096,
+    )
+    service.register(table)
+    engine = service.system.engine_for("r")
+    pool = ScanPool(max_threads=4)
+    engine.executor.scan_pool = pool
+    errors: list = []
+    stop = threading.Event()
+    observed: list = []
+
+    def writer() -> None:
+        rng = np.random.default_rng(7)
+        try:
+            for _ in range(num_batches):
+                table.append_rows(
+                    {
+                        name: rng.integers(
+                            -(10**9), 10**9, size=batch, dtype=np.int64
+                        )
+                        for name in table.schema.names
+                    }
+                )
+                seen = len(observed)
+                try:
+                    wait_until(
+                        lambda: len(observed) > seen or stop.is_set(),
+                        timeout=10.0,
+                        interval=0.001,
+                        message="a reader observation between appends",
+                    )
+                except AssertionError:
+                    pass
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader(worker_id: int) -> None:
+        session = service.session(f"reader-{worker_id}", timeout=120.0)
+        try:
+            i = 0
+            while not stop.is_set():
+                i += 1
+                # Hot shape drives background adaptation; the count
+                # probe checks snapshot consistency under appends.
+                report = session.execute(
+                    "SELECT count(*), sum(a1 - a1) FROM r"
+                )
+                count, zero = report.result.scalars()
+                assert zero == 0.0
+                observed.append(int(count))
+                session.execute(
+                    f"SELECT sum(a1 + a2 + a3) FROM r "
+                    f"WHERE a4 > {(i % 16 - 8) * 10**8}"
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    readers = [
+        threading.Thread(target=reader, args=(i,)) for i in range(4)
+    ]
+    writer_thread = threading.Thread(target=writer)
+    for thread in readers:
+        thread.start()
+    writer_thread.start()
+    writer_thread.join(300.0)
+    for thread in readers:
+        thread.join(300.0)
+    try:
+        assert not errors, f"race failed: {errors[0]!r}"
+        assert observed, "readers never completed a query"
+        torn = [c for c in observed if c not in valid_counts]
+        assert not torn, f"torn counts under parallel scans: {sorted(set(torn))}"
+        snap = service.stats.snapshot()
+        assert snap["failed"] == 0
+        assert snap["morsels_total"] > 0, "morsel path never engaged"
+        wait_until(
+            lambda: pool.snapshot()["reserved"] == 0,
+            timeout=30.0,
+            message="scan-pool budget draining to zero",
+        )
+    finally:
+        service.close()
