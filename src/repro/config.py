@@ -199,6 +199,26 @@ class EngineConfig:
     #: past the budget, the least-used replicated groups are retired
     #: (attribute coverage is never broken).
     max_table_bytes: int = 0
+    #: Number of shard *processes* a :class:`~repro.sharding.coordinator.
+    #: ShardedSystem` partitions each table across; 0 (the default)
+    #: disables the sharding tier and the system runs single-process.
+    #: Each shard hosts its own full adaptive engine over its slice of
+    #: the rows; answers are gathered bit-identically via the per-morsel
+    #: combine contract (see docs/architecture.md §11).
+    shard_count: int = 0
+    #: How rows are distributed across shards:
+    #: - "range" (default): contiguous row chunks, preserving global row
+    #:   order (projection results concatenate bit-identically to
+    #:   serial); appends go to the tail shard so order is kept;
+    #: - "hash": rows are hashed on a per-table partition key, enabling
+    #:   single-shard routing for key-equality predicates; appends fan
+    #:   out by key.  Projection row *order* then follows shard order.
+    shard_partition: str = "range"
+    #: Seconds the coordinator waits for one shard's reply before it
+    #: declares the shard wedged, kills it for respawn, and raises a
+    #: retryable ShardError (the service's retry ladder requeues the
+    #: ticket; the watchdog respawns the shard).
+    scatter_timeout: float = 30.0
     #: Machine model used for all cost estimation.
     machine: MachineProfile = field(default_factory=MachineProfile)
 
@@ -281,6 +301,21 @@ class EngineConfig:
             raise AdaptationError(
                 "selectivity_drift_band must be in (0, 1], got "
                 f"{self.selectivity_drift_band}"
+            )
+        if self.shard_count < 0:
+            raise AdaptationError(
+                f"shard_count must be >= 0 (0 = sharding off), got "
+                f"{self.shard_count}"
+            )
+        if self.shard_partition not in ("range", "hash"):
+            raise AdaptationError(
+                "shard_partition must be 'range' or 'hash', got "
+                f"{self.shard_partition!r}"
+            )
+        if self.scatter_timeout <= 0:
+            raise AdaptationError(
+                f"scatter_timeout must be positive, got "
+                f"{self.scatter_timeout}"
             )
 
     def with_overrides(self, **kwargs: object) -> "EngineConfig":

@@ -27,7 +27,7 @@ from .layout_manager import LayoutManager
 from .plan_cache import CachedPlan, PlanCache
 from .reorganizer import Reorganizer
 from .engine import H2OEngine, QueryReport
-from .system import H2OSystem
+from .system import H2OSystem, build_system
 
 __all__ = [
     "AffinityMatrix",
@@ -45,5 +45,6 @@ __all__ = [
     "Reorganizer",
     "H2OEngine",
     "H2OSystem",
+    "build_system",
     "QueryReport",
 ]

@@ -255,17 +255,25 @@ def run_generated_morsels(
     )
 
 
-def _combine_generated_aggregates(
-    info: QueryInfo, names: List[str], payloads: Sequence[object]
-) -> Tuple[QueryResult, int]:
-    """Fold per-morsel ``(count, states)`` payloads in morsel order.
+def combine_partial_aggregates(
+    aggregates: Sequence[object], payloads: Sequence[object]
+) -> Tuple[dict, float]:
+    """Fold ``(count, states)`` partial payloads in payload-index order.
 
-    State contract per slot (see codegen/templates.py): COUNT → None,
-    SUM/AVG → running float sum, MIN/MAX → float or None.  Pruned
-    morsels contribute nothing — exactly what executing them would have
-    contributed, since they hold zero qualifying rows.
+    This is **the** combine contract shared by every partial-aggregation
+    producer: per-morsel kernels (this module), and per-shard engines
+    (:mod:`repro.sharding`).  State contract per slot (see
+    codegen/templates.py): COUNT → None, SUM/AVG → running float sum,
+    MIN/MAX → float or None (None = no qualifying rows in that
+    partial).  Empty partials contribute nothing — exactly what
+    executing them would have contributed.  Folding happens strictly in
+    index order (morsel index, shard index), which is what makes
+    parallel and distributed answers bit-identical to serial execution.
+
+    Returns ``(agg_values, count)`` where ``agg_values`` maps each
+    aggregate node to its finalized value (COUNT → count, AVG →
+    sum/count or NaN, MIN/MAX → value or NaN).
     """
-    aggregates = collect_aggregates(info.query.select)
     cnt = 0.0
     sums = [0.0] * len(aggregates)
     mins: List[Optional[float]] = [None] * len(aggregates)
@@ -297,6 +305,19 @@ def _combine_generated_aggregates(
             agg_values[agg] = (
                 maxs[i] if maxs[i] is not None else float("nan")
             )
+    return agg_values, cnt
+
+
+def _combine_generated_aggregates(
+    info: QueryInfo, names: List[str], payloads: Sequence[object]
+) -> Tuple[QueryResult, int]:
+    """Fold per-morsel ``(count, states)`` payloads in morsel order.
+
+    Pruned morsels contribute nothing — exactly what executing them
+    would have contributed, since they hold zero qualifying rows.
+    """
+    aggregates = collect_aggregates(info.query.select)
+    agg_values, cnt = combine_partial_aggregates(aggregates, payloads)
     values = [
         float(finalize_output(out.expr, agg_values))
         for out in info.query.select

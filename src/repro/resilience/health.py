@@ -59,6 +59,12 @@ class HealthReport:
     breaker_short_circuits: int = 0
     reorg_aborts: int = 0
     deadline_aborts: int = 0
+    #: Sharding tier (zero when the system runs single-process).  The
+    #: per-shard engine telemetry is merged into the maps above under
+    #: ``"{table}@shard{i}"`` keys, worst-rung-wins into ``status``.
+    shards_alive: int = 0
+    shards_expected: int = 0
+    shard_respawns: int = 0
 
     # Derived views --------------------------------------------------------
 
@@ -99,6 +105,9 @@ class HealthReport:
             "breaker_short_circuits": self.breaker_short_circuits,
             "reorg_aborts": self.reorg_aborts,
             "deadline_aborts": self.deadline_aborts,
+            "shards_alive": self.shards_alive,
+            "shards_expected": self.shards_expected,
+            "shard_respawns": self.shard_respawns,
         }
 
     def describe(self) -> str:
@@ -121,6 +130,11 @@ class HealthReport:
             f"reorg_aborts={self.reorg_aborts} "
             f"deadline_aborts={self.deadline_aborts}",
         ]
+        if self.shards_expected:
+            lines.append(
+                f"  shards: {self.shards_alive}/{self.shards_expected} "
+                f"alive (respawns={self.shard_respawns})"
+            )
         if self.open_breakers:
             rendered = ", ".join(
                 f"{table}:{sig}" for table, sig in self.open_breakers

@@ -1,0 +1,34 @@
+"""Process-based sharding: break the GIL ceiling with shared memory.
+
+Thread-level morsel parallelism (PR 5) stalls near ~2.6x on four cores:
+NumPy kernels release the GIL, but prepare/finish, codegen and
+small-morsel work stay serialized in one interpreter.  This package adds
+the next tier — hash/range-partition each table across N worker
+*processes* whose column arrays live in ``multiprocessing.shared_memory``
+(zero-copy views on both sides), each shard running its own full
+adaptive engine (plan cache, operator cache, affinity matrices, zone
+maps) over its slice of the workload.
+
+- :mod:`repro.sharding.shm` — shared-memory segment lifecycle (creation,
+  attach without double-unlink, atexit cleanup so no run leaks
+  ``/dev/shm`` segments);
+- :mod:`repro.sharding.protocol` — the pickle-free framed command
+  protocol (JSON header + raw binary blobs over one pipe message);
+- :mod:`repro.sharding.partition` — range/hash row partitioning and the
+  column→segment packing;
+- :mod:`repro.sharding.worker` — the shard process main loop;
+- :mod:`repro.sharding.coordinator` — :class:`ShardedSystem`, the
+  scatter–gather coordinator that duck-types
+  :class:`~repro.core.system.H2OSystem` for the service.
+"""
+
+from .coordinator import ShardedSystem
+from .partition import hash_shard_of, range_splits
+from .shm import leaked_segments
+
+__all__ = [
+    "ShardedSystem",
+    "hash_shard_of",
+    "range_splits",
+    "leaked_segments",
+]

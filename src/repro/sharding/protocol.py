@@ -1,0 +1,125 @@
+"""The pickle-free framed command protocol between coordinator and shards.
+
+One message is one ``Connection.send_bytes`` frame::
+
+    !I  header length        (JSON, UTF-8)
+    !I  blob count
+    header bytes
+    [ !Q blob length, blob bytes ] * blob_count
+
+The header is plain JSON — command names, SQL text, segment names,
+integer telemetry.  Anything numeric whose *bits* matter (partial
+aggregate states, projection blocks) rides in raw binary blobs, so no
+float ever round-trips through a decimal representation and nothing on
+the command path is ever unpickled (a dead or compromised shard cannot
+inject objects into the coordinator).
+
+Partial aggregate payloads use the morsel combine contract
+(:func:`repro.execution.morsel.combine_partial_aggregates`): a payload
+is ``(count, states)`` with per-slot states COUNT → None, SUM/AVG →
+running float sum, MIN/MAX → float or None.  :func:`encode_partial` /
+:func:`decode_partial` pack that as a float64 vector
+``[count, present_0, value_0, present_1, value_1, ...]`` — the
+``present`` flag carries the None-ness explicitly so an empty shard's
+MIN stays None (skipped by the combiner) instead of NaN-poisoning the
+fold.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShardError
+
+_HEAD = struct.Struct("!II")
+_BLOB = struct.Struct("!Q")
+
+
+def send_msg(conn, header: dict, blobs: Sequence[bytes] = ()) -> None:
+    """Send one framed message (header JSON + raw blobs)."""
+    payload = json.dumps(header).encode("utf-8")
+    parts: List[bytes] = [_HEAD.pack(len(payload), len(blobs)), payload]
+    for blob in blobs:
+        parts.append(_BLOB.pack(len(blob)))
+        parts.append(blob)
+    conn.send_bytes(b"".join(parts))
+
+
+def recv_msg(
+    conn, timeout: Optional[float] = None
+) -> Tuple[dict, List[bytes]]:
+    """Receive one framed message; raises ShardError on timeout.
+
+    ``timeout=None`` blocks (the worker side); the coordinator always
+    passes its scatter timeout so a wedged shard cannot hang a query.
+    """
+    if timeout is not None and not conn.poll(timeout):
+        raise ShardError(
+            f"shard did not reply within {timeout:.1f}s (scatter timeout)"
+        )
+    data = conn.recv_bytes()
+    header_len, blob_count = _HEAD.unpack_from(data, 0)
+    offset = _HEAD.size
+    header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    offset += header_len
+    blobs: List[bytes] = []
+    for _ in range(blob_count):
+        (length,) = _BLOB.unpack_from(data, offset)
+        offset += _BLOB.size
+        blobs.append(data[offset : offset + length])
+        offset += length
+    return header, blobs
+
+
+# Partial-aggregate payload packing ------------------------------------
+
+
+def encode_partial(
+    count: float, states: Sequence[Optional[float]]
+) -> bytes:
+    """Pack one ``(count, states)`` payload as a float64 vector."""
+    vec = np.empty(1 + 2 * len(states), dtype=np.float64)
+    vec[0] = count
+    for i, state in enumerate(states):
+        if state is None:
+            vec[1 + 2 * i] = 0.0
+            vec[2 + 2 * i] = 0.0
+        else:
+            vec[1 + 2 * i] = 1.0
+            vec[2 + 2 * i] = state
+    return vec.tobytes()
+
+
+def decode_partial(blob: bytes) -> Tuple[float, Tuple[Optional[float], ...]]:
+    """Unpack one payload back into the combine contract's shape."""
+    vec = np.frombuffer(blob, dtype=np.float64)
+    count = float(vec[0])
+    states: List[Optional[float]] = []
+    for i in range((len(vec) - 1) // 2):
+        present = vec[1 + 2 * i] != 0.0
+        states.append(float(vec[2 + 2 * i]) if present else None)
+    return count, tuple(states)
+
+
+# Projection block packing ---------------------------------------------
+
+
+def encode_block(data: np.ndarray) -> Tuple[dict, bytes]:
+    """Pack a row-major result block; returns (shape header, bytes)."""
+    data = np.ascontiguousarray(data)
+    meta = {
+        "rows": int(data.shape[0]),
+        "cols": int(data.shape[1]),
+        "dtype": str(data.dtype),
+    }
+    return meta, data.tobytes()
+
+
+def decode_block(meta: dict, blob: bytes) -> np.ndarray:
+    """Unpack a projection block (copy — the frame buffer is transient)."""
+    array = np.frombuffer(blob, dtype=np.dtype(meta["dtype"]))
+    return array.reshape(meta["rows"], meta["cols"]).copy()

@@ -1,0 +1,136 @@
+"""Shared-memory segment lifecycle for the sharding tier.
+
+The coordinator *owns* every segment: it creates them (column data
+copied in once at registration/append time), hands the names to shard
+workers, and unlinks them when the table is dropped or the system
+closes.  Workers only ever *attach*; spawned workers share the
+coordinator's ``resource_tracker`` process, so their attach-time
+re-registration is idempotent and never causes an early unlink (see
+:func:`attach_segment`).
+
+Leak discipline: every created segment is recorded in a process-global
+registry whose ``atexit`` hook closes and unlinks whatever is still
+live, so an interrupted run (test failure, ^C, uncaught exception)
+leaves ``/dev/shm`` clean.  A coordinator killed with SIGKILL cannot run
+atexit — that case is covered by the stdlib ``resource_tracker``
+process, which outlives the parent and unlinks registered segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Distinctive name prefix: leak checks glob /dev/shm for it, and the
+#: pid component keeps concurrent test runs from colliding.
+SEGMENT_PREFIX = "h2o-shm"
+
+_counter = itertools.count()
+_lock = threading.Lock()
+#: name → SharedMemory for every segment this process created and has
+#: not yet unlinked.
+_owned: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _next_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_counter)}"
+
+
+def create_segment(array: np.ndarray) -> Tuple[str, shared_memory.SharedMemory]:
+    """Copy ``array`` into a fresh owned segment; returns (name, handle).
+
+    The handle (and its zero-copy view via :func:`segment_view`) stays
+    valid until :func:`unlink_segment` — the coordinator keeps it alive
+    for respawn replay.
+    """
+    array = np.ascontiguousarray(array)
+    name = _next_name()
+    # A shard can legitimately hold zero rows (fewer rows than shards);
+    # shm segments cannot be zero-sized, so floor at one byte — the
+    # zero-item view never reads it.
+    seg = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, array.nbytes)
+    )
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+    view[...] = array
+    with _lock:
+        _owned[name] = seg
+    return name, seg
+
+
+def segment_view(
+    seg: shared_memory.SharedMemory,
+    shape: Tuple[int, ...],
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Zero-copy ndarray over a segment's buffer."""
+    return np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* taking ownership.
+
+    On Python < 3.13 attaching re-registers the segment with the
+    resource tracker.  Spawned shard workers *share* the coordinator's
+    tracker process (the fd travels in the spawn preparation data), so
+    that re-registration is an idempotent set-add in the one tracker
+    that already knows the name — harmless.  Crucially we must NOT
+    ``resource_tracker.unregister`` here: that would remove the
+    *owner's* registration from the shared tracker, losing the
+    SIGKILL-the-coordinator leak backstop.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(name: str) -> None:
+    """Close and unlink one owned segment (idempotent)."""
+    with _lock:
+        seg = _owned.pop(name, None)
+    if seg is None:
+        return
+    try:
+        seg.close()
+    finally:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def owned_segments() -> Tuple[str, ...]:
+    """Names of segments this process currently owns (for tests)."""
+    with _lock:
+        return tuple(_owned)
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> Tuple[str, ...]:
+    """Segments with our prefix still present in /dev/shm.
+
+    The leak tests assert this is empty after a sharded system closes —
+    including runs where a shard was killed mid-query.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return ()
+    return tuple(sorted(e for e in entries if e.startswith(prefix)))
+
+
+def _cleanup_all() -> None:
+    """atexit: unlink everything still owned, whatever got us here."""
+    with _lock:
+        names = list(_owned)
+    for name in names:
+        try:
+            unlink_segment(name)
+        except Exception:  # pragma: no cover - best effort at exit
+            pass
+
+
+atexit.register(_cleanup_all)

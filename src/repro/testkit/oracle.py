@@ -1,7 +1,7 @@
 """The differential oracle: adaptation must be invisible in answers.
 
 One generated :class:`~repro.testkit.generate.CaseSpec` is executed
-through seven independent paths, each over its *own* copy of the same
+through eight independent paths, each over its *own* copy of the same
 deterministic data:
 
 1. **row reference** — the static row-store baseline, interpreted
@@ -22,7 +22,14 @@ deterministic data:
    ScanPool` and tiny morsels (so even small cases split into many),
    checked both against the row reference and against a morsel-serial
    twin: answers bit-identical *and* ``morsels_pruned`` equal — the
-   zone-map pruning decision must not depend on the thread count.
+   zone-map pruning decision must not depend on the thread count;
+8. **adaptive sharded** — a 2-shard :class:`~repro.sharding.coordinator.
+   ShardedSystem`: the table range-partitioned across two worker
+   *processes* (each running its own full adaptive engine over a
+   shared-memory slice), answers gathered via the per-morsel combine
+   contract in shard-index order — partitioning must be invisible in
+   answers, and each shard's published layout epoch must stay
+   monotone.
 
 Every mode must produce **bit-identical** :class:`~repro.execution.
 result.QueryResult` data (the generator bounds values so all float64
@@ -79,6 +86,7 @@ CLEAN_MODES = (
     "adaptive-interpreted",
     "adaptive-background",
     "adaptive-parallel",
+    "adaptive-sharded",
 )
 
 
@@ -227,6 +235,7 @@ class DifferentialOracle:
         self._run_adaptive(spec, expected, use_codegen=False)
         self._run_service(spec, expected)
         self._run_adaptive_parallel(spec, expected)
+        self._run_sharded(spec, expected)
         outcome.queries_checked = len(expected) * (len(CLEAN_MODES) + 1)
         if self.with_faults:
             fired_inline = self._run_faulted_inline(spec, expected)
@@ -355,6 +364,55 @@ class DifferentialOracle:
                     f"  sql: {spec.queries[index]}"
                 )
             epoch = check_engine_invariants(engine, epoch, mode)
+
+    def _run_sharded(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> None:
+        """Two shard processes over shared-memory slices vs the reference.
+
+        Each shard runs the full adaptive engine (small oracle window,
+        so advisor runs and reorganizations happen *inside the worker
+        processes*) on its half of the rows; the coordinator rewrites
+        aggregations into partials and folds them in shard-index order.
+        Beyond bit-identity, the oracle asserts per-shard layout-epoch
+        monotonicity — each shard adapts independently, and its
+        published epoch must never regress across the sequence.
+        """
+        from ..core.system import build_system
+
+        mode = "adaptive-sharded"
+        system = build_system(self._adaptive_config(shard_count=2))
+        try:
+            system.register(spec.build_table())
+            last_epochs = system.shard_epochs(spec.table_name)
+            for index, query in enumerate(spec.parsed()):
+                report = system.execute(query)
+                if not results_identical(report.result, expected[index]):
+                    raise OracleFailure(
+                        _describe_divergence(
+                            index,
+                            spec.queries[index],
+                            report.result,
+                            expected[index],
+                            mode,
+                        )
+                    )
+                if report.shards_used != 2:
+                    raise OracleFailure(
+                        f"[{mode}] query #{index} used "
+                        f"{report.shards_used} shard(s), expected 2 "
+                        f"(range partitioning scatters everywhere)"
+                    )
+                epochs = system.shard_epochs(spec.table_name)
+                for sid, epoch in epochs.items():
+                    if epoch < last_epochs[sid]:
+                        raise OracleFailure(
+                            f"[{mode}] shard {sid} layout epoch "
+                            f"regressed: {epoch} < {last_epochs[sid]}"
+                        )
+                last_epochs = epochs
+        finally:
+            system.close()
 
     def _run_service(
         self, spec: CaseSpec, expected: Sequence[QueryResult]

@@ -1,0 +1,437 @@
+"""Unit + small end-to-end tests for the multi-process sharding tier.
+
+The fast tier covers the pure pieces (partitioning, framed protocol,
+payload packing, the shared combine contract, config knobs, segment
+lifecycle) plus one small 2-shard end-to-end differential check.  The
+heavyweight multi-process stress lives in ``test_sharding_stress.py``
+behind the ``shard_stress`` marker.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.system import H2OSystem, build_system
+from repro.errors import AdaptationError, CatalogError, ShardError
+from repro.execution.morsel import combine_partial_aggregates
+from repro.sharding import ShardedSystem, hash_shard_of, range_splits
+from repro.sharding.partition import (
+    hash_assignments,
+    pack_by_dtype,
+    partition_rows,
+)
+from repro.sharding.protocol import (
+    decode_block,
+    decode_partial,
+    encode_block,
+    encode_partial,
+)
+from repro.sharding.shm import (
+    create_segment,
+    leaked_segments,
+    owned_segments,
+    segment_view,
+    unlink_segment,
+)
+from repro.sql.parser import parse_query
+from repro.storage import generate_table
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioning:
+    def test_range_splits_cover_and_are_contiguous(self):
+        for rows in (0, 1, 7, 100, 101):
+            for shards in (1, 2, 3, 5):
+                splits = range_splits(rows, shards)
+                assert len(splits) == shards
+                assert splits[0][0] == 0 and splits[-1][1] == rows
+                for (_, hi), (lo, _) in zip(splits, splits[1:]):
+                    assert hi == lo
+                sizes = [hi - lo for lo, hi in splits]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_range_partition_preserves_global_order(self):
+        cols = {"a": np.arange(10), "b": np.arange(10) * 2}
+        parts = partition_rows(cols, 10, 3, "range", None)
+        rebuilt = np.concatenate([p["a"] for p in parts])
+        assert np.array_equal(rebuilt, cols["a"])
+
+    def test_hash_assignment_scalar_matches_vectorized(self):
+        values = np.array([-1000, -1, 0, 1, 42, 999, 2**31], dtype=np.int64)
+        for shards in (1, 2, 3, 5):
+            vec = hash_assignments(values, shards)
+            for value, sid in zip(values, vec):
+                assert hash_shard_of(int(value), shards) == int(sid)
+
+    def test_hash_partition_is_stable_and_complete(self):
+        rng = np.random.default_rng(5)
+        cols = {
+            "k": rng.integers(-1000, 1000, 500),
+            "v": rng.integers(-1000, 1000, 500),
+        }
+        parts = partition_rows(cols, 500, 3, "hash", "k")
+        assert sum(len(p["k"]) for p in parts) == 500
+        # Stability: same input, same assignment.
+        again = partition_rows(cols, 500, 3, "hash", "k")
+        for p, q in zip(parts, again):
+            assert np.array_equal(p["k"], q["k"])
+            assert np.array_equal(p["v"], q["v"])
+
+    def test_hash_partition_requires_key(self):
+        with pytest.raises(ValueError):
+            partition_rows({"a": np.arange(4)}, 4, 2, "hash", None)
+        with pytest.raises(ValueError):
+            partition_rows({"a": np.arange(4)}, 4, 2, "hash", "missing")
+
+    def test_pack_by_dtype_groups_and_orders(self):
+        cols = {
+            "a": np.arange(4, dtype=np.int64),
+            "b": np.arange(4, dtype=np.float64),
+            "c": np.arange(4, dtype=np.int64) * 3,
+        }
+        packs = pack_by_dtype(cols, ("a", "b", "c"))
+        by_attrs = {attrs: block for attrs, block in packs}
+        assert ("a", "c") in by_attrs and ("b",) in by_attrs
+        assert np.array_equal(by_attrs[("a", "c")][1], cols["c"])
+
+
+# ---------------------------------------------------------------------------
+# Protocol payloads
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolPayloads:
+    def test_partial_roundtrip_preserves_none(self):
+        count, states = 7.0, (None, 3.25, None, -0.0)
+        out_count, out_states = decode_partial(
+            encode_partial(count, states)
+        )
+        assert out_count == count
+        assert out_states == states
+
+    def test_partial_roundtrip_preserves_nan_bits(self):
+        _, states = decode_partial(encode_partial(1.0, (float("nan"),)))
+        assert math.isnan(states[0])
+
+    def test_block_roundtrip(self):
+        data = np.arange(12, dtype=np.int64).reshape(4, 3)
+        meta, blob = encode_block(data)
+        out = decode_block(meta, blob)
+        assert out.dtype == data.dtype
+        assert np.array_equal(out, data)
+        out[0, 0] = 99  # decoded block owns its memory
+        assert data[0, 0] == 0
+
+    def test_empty_block_roundtrip(self):
+        data = np.empty((0, 2), dtype=np.float64)
+        meta, blob = encode_block(data)
+        out = decode_block(meta, blob)
+        assert out.shape == (0, 2)
+
+
+# ---------------------------------------------------------------------------
+# The shared combine contract (shard-count independence, pure form)
+# ---------------------------------------------------------------------------
+
+
+def _serial_payload(aggregates, values_by_slot):
+    """One payload representing ALL rows (the serial reference)."""
+    from repro.sql.expressions import AggregateFunc
+
+    states = []
+    count = float(len(values_by_slot[0]) if values_by_slot else 0)
+    for i, agg in enumerate(aggregates):
+        vals = values_by_slot[i]
+        if agg.func is AggregateFunc.COUNT:
+            states.append(None)
+        elif agg.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+            states.append(float(sum(vals)))
+        elif agg.func is AggregateFunc.MIN:
+            states.append(float(min(vals)) if len(vals) else None)
+        else:
+            states.append(float(max(vals)) if len(vals) else None)
+    return count, tuple(states)
+
+
+def _sharded_payloads(aggregates, values_by_slot, splits):
+    from repro.sql.expressions import AggregateFunc
+
+    payloads = []
+    for lo, hi in splits:
+        states = []
+        for i, agg in enumerate(aggregates):
+            vals = values_by_slot[i][lo:hi]
+            if agg.func is AggregateFunc.COUNT:
+                states.append(None)
+            elif agg.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+                states.append(float(sum(vals)))
+            elif agg.func is AggregateFunc.MIN:
+                states.append(float(min(vals)) if len(vals) else None)
+            else:
+                states.append(float(max(vals)) if len(vals) else None)
+        payloads.append((float(hi - lo), tuple(states)))
+    return payloads
+
+
+def _all_aggregates():
+    from repro.sql.expressions import (
+        Aggregate,
+        AggregateFunc,
+        ColumnRef,
+    )
+
+    return (
+        Aggregate(AggregateFunc.COUNT, None),
+        Aggregate(AggregateFunc.SUM, ColumnRef("a")),
+        Aggregate(AggregateFunc.AVG, ColumnRef("b")),
+        Aggregate(AggregateFunc.MIN, ColumnRef("c")),
+        Aggregate(AggregateFunc.MAX, ColumnRef("d")),
+    )
+
+
+class TestCombineContract:
+    def test_empty_input_matches_serial_semantics(self):
+        aggregates = _all_aggregates()
+        values = [[] for _ in aggregates]
+        serial, _ = combine_partial_aggregates(
+            aggregates, [_serial_payload(aggregates, values)]
+        )
+        sharded, _ = combine_partial_aggregates(
+            aggregates,
+            _sharded_payloads(aggregates, values, [(0, 0), (0, 0)]),
+        )
+        for agg in aggregates:
+            a, b = serial[agg], sharded[agg]
+            assert (a == b) or (math.isnan(a) and math.isnan(b))
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_shard_count_independence(self, shards):
+        rng = np.random.default_rng(17)
+        aggregates = _all_aggregates()
+        n = 61  # deliberately not divisible by the shard counts
+        values = [
+            [int(v) for v in rng.integers(-1000, 1000, n)]
+            for _ in aggregates
+        ]
+        serial, _ = combine_partial_aggregates(
+            aggregates, [_serial_payload(aggregates, values)]
+        )
+        splits = range_splits(n, shards)
+        sharded, _ = combine_partial_aggregates(
+            aggregates, _sharded_payloads(aggregates, values, splits)
+        )
+        for agg in aggregates:
+            # VALUE_BOUND-style int inputs: float64 arithmetic is exact,
+            # so regrouping must be bit-identical.
+            assert serial[agg] == sharded[agg]
+
+
+def test_hypothesis_shard_count_independence():
+    """Property: the combine fold is independent of how rows are split.
+
+    Finite ints bounded like the testkit's VALUE_BOUND (exact float64
+    arithmetic) plus the empty-input edge (MIN/MAX/AVG of zero rows is
+    NaN, SUM is 0.0, COUNT is 0.0) — for every shard count including
+    splits that leave some shards empty.
+    """
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import given, settings, strategies as st
+
+    aggregates = _all_aggregates()
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        rows=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=0,
+            max_size=40,
+        ),
+        shards=st.integers(min_value=1, max_value=5),
+    )
+    def property_check(rows, shards):
+        values = [list(rows) for _ in aggregates]
+        serial, serial_cnt = combine_partial_aggregates(
+            aggregates, [_serial_payload(aggregates, values)]
+        )
+        splits = range_splits(len(rows), shards)
+        sharded, sharded_cnt = combine_partial_aggregates(
+            aggregates, _sharded_payloads(aggregates, values, splits)
+        )
+        assert serial_cnt == sharded_cnt
+        for agg in aggregates:
+            a, b = serial[agg], sharded[agg]
+            assert (a == b) or (math.isnan(a) and math.isnan(b))
+
+    property_check()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lifecycle (in-process)
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentLifecycle:
+    def test_create_view_unlink(self):
+        data = np.arange(12, dtype=np.int64).reshape(3, 4)
+        name, seg = create_segment(data)
+        assert name in owned_segments()
+        view = segment_view(seg, data.shape, data.dtype)
+        assert np.array_equal(view, data)
+        unlink_segment(name)
+        assert name not in owned_segments()
+        assert name not in leaked_segments()
+
+    def test_unlink_is_idempotent(self):
+        name, _ = create_segment(np.arange(3))
+        unlink_segment(name)
+        unlink_segment(name)  # no raise
+
+    def test_zero_row_segment(self):
+        data = np.empty((2, 0), dtype=np.int64)
+        name, seg = create_segment(data)
+        view = segment_view(seg, data.shape, data.dtype)
+        assert view.shape == (2, 0)
+        unlink_segment(name)
+
+
+# ---------------------------------------------------------------------------
+# Config knobs
+# ---------------------------------------------------------------------------
+
+
+class TestShardConfig:
+    def test_defaults_off(self):
+        cfg = EngineConfig()
+        assert cfg.shard_count == 0
+        assert cfg.shard_partition == "range"
+
+    def test_validation(self):
+        with pytest.raises(AdaptationError):
+            EngineConfig(shard_count=-1)
+        with pytest.raises(AdaptationError):
+            EngineConfig(shard_partition="modulo")
+        with pytest.raises(AdaptationError):
+            EngineConfig(scatter_timeout=0.0)
+
+    def test_build_system_dispatch(self):
+        assert isinstance(build_system(EngineConfig()), H2OSystem)
+        sharded = build_system(EngineConfig(shard_count=2))
+        try:
+            assert isinstance(sharded, ShardedSystem)
+            assert sharded.shard_count == 2
+        finally:
+            sharded.close()
+
+    def test_sharded_system_rejects_zero_shards(self):
+        with pytest.raises(ShardError):
+            ShardedSystem(EngineConfig(shard_count=0))
+
+
+# ---------------------------------------------------------------------------
+# Small end-to-end differential check (one 2-shard system, fast)
+# ---------------------------------------------------------------------------
+
+
+QUERIES = (
+    "SELECT sum(a1 + a2) FROM t WHERE a3 > 100",
+    "SELECT count(*) FROM t WHERE a1 > 500",
+    "SELECT avg(a2), min(a3), max(a4) FROM t WHERE a1 > -100",
+    "SELECT min(a1), avg(a1), sum(a1) FROM t",
+    "SELECT a1, a2 FROM t WHERE a3 > 950",
+    "SELECT min(a2) FROM t WHERE a1 > 99999",  # empty on every shard
+)
+
+
+def _identical(a, b):
+    return a.data.shape == b.data.shape and np.array_equal(
+        np.asarray(a.data, dtype=np.float64),
+        np.asarray(b.data, dtype=np.float64),
+        equal_nan=True,
+    )
+
+
+class TestShardedEndToEnd:
+    def test_two_shards_bit_identical_and_clean(self):
+        table = generate_table("t", 5, 3000, rng=9)
+        serial = H2OSystem()
+        serial.register(table)
+        with build_system(EngineConfig(shard_count=2)) as sharded:
+            sharded.register(table)
+            for sql in QUERIES:
+                want = serial.execute(sql).result
+                report = sharded.execute(sql)
+                assert _identical(report.result, want), sql
+                assert report.shards_used == 2
+                assert report.strategy.startswith("sharded-scatter-gather")
+            # Appends reach the shards and stay bit-identical.
+            rng = np.random.default_rng(2)
+            cols = {
+                n: rng.integers(-1000, 1000, 333)
+                for n in table.schema.names
+            }
+            serial.catalog.get("t").append_rows(cols)
+            sharded.append_rows("t", cols)
+            assert sharded.num_rows("t") == 3333
+            for sql in QUERIES:
+                assert _identical(
+                    sharded.execute(sql).result,
+                    serial.execute(sql).result,
+                ), sql
+            # Unknown tables surface as CatalogError, like H2OSystem.
+            with pytest.raises(CatalogError):
+                sharded.execute("SELECT count(*) FROM nope")
+        # Close unlinked everything this system created.
+        assert leaked_segments() == ()
+
+    def test_close_is_idempotent_and_blocks_use(self):
+        system = ShardedSystem(EngineConfig(shard_count=1))
+        system.close()
+        system.close()
+        with pytest.raises(ShardError):
+            system.register(generate_table("t", 3, 100, rng=0))
+
+    def test_hash_partition_single_shard_routing(self):
+        table = generate_table("t", 4, 2000, rng=3)
+        serial = H2OSystem()
+        serial.register(table)
+        cfg = EngineConfig(shard_count=3, shard_partition="hash")
+        with build_system(cfg) as sharded:
+            sharded.register(table)
+            eq_sql = "SELECT sum(a2), count(*) FROM t WHERE a1 = 7"
+            want = serial.execute(eq_sql).result
+            report = sharded.execute(eq_sql)
+            assert _identical(report.result, want)
+            assert report.shards_used == 1  # routed by the hash key
+            # The same shape with a different literal routes by value.
+            other = sharded.execute(
+                "SELECT sum(a2), count(*) FROM t WHERE a1 = -900"
+            )
+            assert _identical(
+                other.result,
+                serial.execute(
+                    "SELECT sum(a2), count(*) FROM t WHERE a1 = -900"
+                ).result,
+            )
+            # Non-key predicates still scatter everywhere.
+            scatter = sharded.execute(
+                "SELECT sum(a1) FROM t WHERE a2 > 0"
+            )
+            assert scatter.shards_used == 3
+            assert _identical(
+                scatter.result,
+                serial.execute("SELECT sum(a1) FROM t WHERE a2 > 0").result,
+            )
+        assert leaked_segments() == ()
+
+    def test_projection_parses_identically(self):
+        # Sanity that the partials rewrite only applies to aggregations.
+        query = parse_query("SELECT a1 FROM t WHERE a2 > 0")
+        assert not query.is_aggregation

@@ -1,0 +1,225 @@
+"""Shard kill/respawn and shared-memory leak stress (``shard_stress``).
+
+These tests spawn and kill real worker processes, so they live behind
+the ``shard_stress`` marker and run in their own CI job (mirroring
+``parallel-stress``) under pytest-timeout.  What they pin down:
+
+- a shard SIGKILLed mid-run is respawned by the coordinator's watchdog
+  and the in-flight ticket is *requeued* by the service's retry ladder —
+  the waiter sees a correct answer, never the death;
+- a respawned shard replays its slice (initial registration + every
+  append batch) and keeps answering bit-identically;
+- no run — including one that killed shards, and one whose whole
+  interpreter died mid-use — leaks ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.system import H2OSystem, build_system
+from repro.service import H2OService
+from repro.sharding import leaked_segments
+from repro.storage import generate_table
+
+from tests.conftest import wait_until
+
+pytestmark = pytest.mark.shard_stress
+
+
+def _identical(a, b):
+    return a.data.shape == b.data.shape and np.array_equal(
+        np.asarray(a.data, dtype=np.float64),
+        np.asarray(b.data, dtype=np.float64),
+        equal_nan=True,
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 3, 5])
+def test_shard_count_independence_end_to_end(shards):
+    """N-shard answers are bit-identical to serial for every N."""
+    table = generate_table("t", 6, 4000, rng=21)
+    serial = H2OSystem()
+    serial.register(table)
+    queries = (
+        "SELECT sum(a1), count(*) FROM t WHERE a2 > 0",
+        "SELECT avg(a3), min(a4), max(a5) FROM t WHERE a1 > -500",
+        "SELECT a1, a3 FROM t WHERE a2 > 900",
+        "SELECT min(a1), max(a1) FROM t WHERE a1 > 99999",
+    )
+    with build_system(EngineConfig(shard_count=shards)) as sharded:
+        sharded.register(table)
+        for sql in queries:
+            want = serial.execute(sql).result
+            got = sharded.execute(sql)
+            assert _identical(got.result, want), sql
+            assert got.shards_used == shards
+    assert leaked_segments() == ()
+
+
+def test_killed_shard_respawns_and_requeues_not_surfaces():
+    """SIGKILL a shard while queries are in flight: zero failures.
+
+    A concurrent killer thread murders shard processes while the
+    service drains a batch of identical queries.  Every waiter must get
+    the correct answer — deaths are absorbed by the retryable
+    ShardError → requeue → watchdog-respawn ladder, never surfaced.
+    """
+    service = H2OService(
+        config=EngineConfig(shard_count=2, scatter_timeout=10.0),
+        num_workers=2,
+        max_pending=64,
+        default_timeout=120.0,
+        max_query_attempts=6,
+    )
+    try:
+        table = generate_table("t", 5, 6000, rng=4)
+        service.register(table)
+        sql = "SELECT sum(a1 + a2), count(*) FROM t WHERE a3 > 0"
+        want = service.execute(sql).result
+
+        stop = threading.Event()
+        kills = []
+
+        def killer():
+            # Kill alternating shards while the batch drains.
+            sid = 0
+            while not stop.is_set() and len(kills) < 4:
+                shard = service.system._shards[sid % 2]
+                if shard.process.is_alive():
+                    shard.process.kill()
+                    kills.append(shard.index)
+                sid += 1
+                stop.wait(0.05)
+
+        futures = [service.submit(sql) for _ in range(30)]
+        thread = threading.Thread(target=killer)
+        thread.start()
+        try:
+            for future in futures:
+                report = future.result(120.0)  # raises on surfaced death
+                assert _identical(report.result, want)
+        finally:
+            stop.set()
+            thread.join()
+        assert kills, "the killer thread never killed anything"
+        wait_until(
+            lambda: service.system.alive_shards() == 2,
+            timeout=30.0,
+            message="watchdog respawning both shards",
+        )
+        assert service.system.shard_respawns >= 1
+        health = service.health()
+        assert health.shards_alive == 2
+        assert health.shard_respawns >= 1
+        # The waiter-facing ledger is clean: nothing failed or timed out.
+        stats = service.stats.snapshot()
+        assert int(stats["failed"]) == 0
+        assert int(stats["timeouts"]) == 0
+    finally:
+        service.close()
+    assert leaked_segments() == ()
+
+
+def test_respawned_shard_replays_appends():
+    """Appends recorded before a kill survive the respawn replay."""
+    with build_system(EngineConfig(shard_count=2)) as sharded:
+        table = generate_table("t", 4, 2000, rng=8)
+        serial = H2OSystem()
+        serial.register(table)
+        sharded.register(table)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            cols = {
+                n: rng.integers(-1000, 1000, 250)
+                for n in table.schema.names
+            }
+            serial.catalog.get("t").append_rows(cols)
+            sharded.append_rows("t", cols)
+        sql = "SELECT sum(a1), count(*), min(a2) FROM t WHERE a3 > -2000"
+        want = serial.execute(sql).result
+        assert _identical(sharded.execute(sql).result, want)
+        # Kill the tail shard — the one holding every range append.
+        victim = sharded._shards[1]
+        victim.process.kill()
+        victim.process.join()
+        wait_until(
+            lambda: sharded.alive_shards() == 2,
+            timeout=30.0,
+            message="watchdog respawn after tail-shard kill",
+        )
+        assert _identical(sharded.execute(sql).result, want)
+        assert sharded.shard_respawns >= 1
+    assert leaked_segments() == ()
+
+
+def test_no_leaked_segments_after_interpreter_death():
+    """A whole run dying mid-use leaves /dev/shm clean.
+
+    The child process builds a sharded system, registers a table,
+    queries it, kills one of its own shards, and then exits WITHOUT
+    calling close() — the atexit hook (and, for hard kills, the shared
+    resource tracker) must still unlink every segment the run created.
+    """
+    script = r"""
+import sys
+from repro.config import EngineConfig
+from repro.core.system import build_system
+from repro.storage import generate_table
+from repro.sharding.shm import owned_segments
+
+def main():
+    system = build_system(EngineConfig(shard_count=2))
+    system.register(generate_table("t", 4, 1500, rng=0))
+    system.execute("SELECT sum(a1) FROM t WHERE a2 > 0")
+    system._shards[0].process.kill()
+    print("SEGMENTS:" + ",".join(owned_segments()), flush=True)
+    # exit without close(): atexit must clean up
+
+if __name__ == "__main__":
+    main()
+"""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    script_path = Path(__file__).resolve().parent / "_shard_leak_child.py"
+    script_path.write_text(script)
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(script_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        marker = [
+            line
+            for line in proc.stdout.splitlines()
+            if line.startswith("SEGMENTS:")
+        ]
+        assert marker, proc.stdout
+        created = [s for s in marker[0][len("SEGMENTS:"):].split(",") if s]
+        assert created, "the child created no segments?"
+        leftovers = [s for s in created if s in leaked_segments()]
+        assert leftovers == [], leftovers
+    finally:
+        script_path.unlink(missing_ok=True)
+
+
+def test_shard_health_reports_every_shard():
+    with build_system(EngineConfig(shard_count=2)) as sharded:
+        sharded.register(generate_table("t", 4, 2000, rng=6))
+        sharded.execute("SELECT sum(a1) FROM t WHERE a2 > 0")
+        healths = sharded.shard_health()
+        assert set(healths) == {0, 1}
+        for sid, payload in healths.items():
+            assert payload is not None
+            assert payload["shard"] == sid
+            assert "t" in payload["tables"]
+    assert leaked_segments() == ()
