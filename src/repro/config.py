@@ -323,6 +323,93 @@ class EngineConfig:
         return replace(self, **kwargs)
 
 
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the network gateway and its durability tier.
+
+    Orthogonal to :class:`EngineConfig` (which shapes the engines the
+    gateway serves): these control the HTTP surface, per-tenant
+    admission, group commit, and the WAL/snapshot cadence.  See
+    docs/gateway.md.
+    """
+
+    #: Interface the asyncio server binds; port 0 asks the OS for a free
+    #: port (the bound port is reported by :attr:`Gateway.port`).
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Request header carrying the tenant's API key.  Requests without
+    #: it share the ``default_tenant``.
+    api_key_header: str = "x-api-key"
+    default_tenant: str = "public"
+    #: Maximum in-flight requests *per tenant* (admission quota on top
+    #: of the service-wide bound); excess requests get HTTP 429 so one
+    #: hot tenant cannot starve the rest.
+    tenant_quota: int = 16
+    #: Default per-request deadline in seconds; a request body may lower
+    #: or raise its own via ``timeout_ms``.
+    default_timeout: float = 30.0
+    #: Largest accepted request body (bytes); HTTP 413 beyond it.
+    max_body_bytes: int = 16 * 1024 * 1024
+    #: Group commit: appends arriving within this window are coalesced
+    #: into one WAL batch with a single fsync.
+    group_commit_window: float = 0.002
+    #: Upper bound on appends coalesced into one group commit.
+    group_commit_max_batch: int = 64
+    #: Whether creates/appends are logged to the WAL before being
+    #: applied (the durability ablation knob for benchmarks).
+    wal_enabled: bool = True
+    #: Whether each group commit fsyncs the WAL (off = OS-buffered
+    #: writes; acked appends may be lost on machine crash but not on
+    #: process crash).
+    wal_fsync: bool = True
+    #: Automatic checkpoint every N WAL records; 0 = manual
+    #: checkpoints only.
+    snapshot_every_records: int = 1024
+    #: Completed snapshots retained on disk (older ones are pruned).
+    snapshots_keep: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise AdaptationError(f"port must be in [0, 65535], got {self.port}")
+        if self.tenant_quota <= 0:
+            raise AdaptationError(
+                f"tenant_quota must be positive, got {self.tenant_quota}"
+            )
+        if self.default_timeout <= 0:
+            raise AdaptationError(
+                f"default_timeout must be positive, got {self.default_timeout}"
+            )
+        if self.max_body_bytes <= 0:
+            raise AdaptationError(
+                f"max_body_bytes must be positive, got {self.max_body_bytes}"
+            )
+        if self.group_commit_window < 0:
+            raise AdaptationError(
+                "group_commit_window must be >= 0, got "
+                f"{self.group_commit_window}"
+            )
+        if self.group_commit_max_batch <= 0:
+            raise AdaptationError(
+                "group_commit_max_batch must be positive, got "
+                f"{self.group_commit_max_batch}"
+            )
+        if self.snapshot_every_records < 0:
+            raise AdaptationError(
+                "snapshot_every_records must be >= 0 (0 = manual), got "
+                f"{self.snapshot_every_records}"
+            )
+        if self.snapshots_keep < 1:
+            raise AdaptationError(
+                f"snapshots_keep must be >= 1, got {self.snapshots_keep}"
+            )
+        if not self.api_key_header or "\n" in self.api_key_header:
+            raise AdaptationError("api_key_header must be a header name")
+
+    def with_overrides(self, **kwargs: object) -> "GatewayConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
 def scale_factor() -> float:
     """Experiment scale multiplier, from the ``H2O_SCALE`` env variable."""
     raw = os.environ.get("H2O_SCALE", "1.0")

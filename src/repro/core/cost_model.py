@@ -26,7 +26,15 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import ClassVar, Dict, Iterable, Optional, Sequence, Tuple
+from typing import (
+    ClassVar,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config import MachineProfile
 from ..errors import CostModelError
@@ -109,6 +117,20 @@ class SelectivityEstimator:
             self._observed[key] = (
                 (1.0 - self._blend) * previous + self._blend * selectivity
             )
+
+    def export(self) -> Dict[str, float]:
+        """The learned selectivities, keyed by masked predicate SQL.
+
+        A defensive copy suitable for JSON persistence; feed it back
+        through :meth:`restore` to pre-seed a fresh estimator (the
+        gateway's snapshot/recovery path does exactly this).
+        """
+        return dict(self._observed)
+
+    def restore(self, observed: "Mapping[str, float]") -> None:
+        """Adopt previously exported selectivities verbatim (no blend)."""
+        for key, value in observed.items():
+            self._observed[str(key)] = min(1.0, max(0.0, float(value)))
 
     def estimate(self, predicate: Optional[Expr], key: str = "") -> float:
         """Estimated qualifying fraction of ``predicate``."""

@@ -75,6 +75,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..config import EngineConfig
 from ..errors import (
     ExecutionError,
+    H2OError,
     LayoutError,
     QueryTimeoutError,
     ReorganizationError,
@@ -1149,6 +1150,92 @@ class H2OEngine:
                 if dropped:
                     self._last_adaptation_snapshot = None
             return True
+
+    # Learned-state persistence ---------------------------------------------
+
+    def adaptation_state(self, warmup_limit: int = 64) -> Dict[str, object]:
+        """A JSON-serializable snapshot of everything this engine learned.
+
+        Captured under the engine lock, so it is consistent with one
+        instant of query processing.  The affinity matrices are *not*
+        serialized directly: they are an exact function of the windowed
+        queries (integer co-access counts, maintained add/remove
+        symmetric), so persisting the window's SQL and replaying it
+        through a fresh :class:`Monitor` reproduces them bit-for-bit.
+        ``warmup_sql`` carries one representative query per recently
+        executed shape so recovery can re-populate the plan and operator
+        caches (cache entries hold compiled kernels and epoch tags and
+        cannot be serialized; re-executing the shape rebuilds them).
+        """
+        with self.lock:
+            warmup: Dict[object, str] = {}
+            for report in reversed(self.reports):
+                shape = report.query.shape_signature()
+                if shape not in warmup:
+                    warmup[shape] = report.query.to_sql()
+                if len(warmup) >= warmup_limit:
+                    break
+            return {
+                "window_sql": [q.to_sql() for q in self.monitor.window],
+                "window_size": self.window.size,
+                "since_adaptation": self.window.since_adaptation,
+                "shrink_events": self.window.shrink_events,
+                "grow_events": self.window.grow_events,
+                "queries_seen": self.monitor.queries_seen,
+                "query_counter": self._query_counter,
+                "selectivities": self.selectivity.export(),
+                # Oldest-shape-last iteration above; reverse so warmup
+                # replays in roughly original execution order.
+                "warmup_sql": list(reversed(list(warmup.values()))),
+            }
+
+    def seed_adaptation_state(self, state: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`adaptation_state`.
+
+        Meant for a freshly constructed engine whose table already holds
+        the recovered layouts (see repro/gateway/persist.py).  Warmup
+        queries are executed through the ordinary path to re-populate
+        the plan/operator caches, then the monitor/window/counters are
+        reset to the persisted values so the warmup itself leaves no
+        trace in the learned statistics.
+        """
+        with self.lock:
+            self.selectivity.restore(state.get("selectivities", {}))
+            # Hold adaptation (and window bookkeeping) while warming up:
+            # an adaptation phase mid-warmup would propose candidates
+            # from warmup-polluted statistics and invalidate the very
+            # plan-cache entries the warmup is building.
+            self.window.size = 1 << 30
+        for sql in state.get("warmup_sql", []):
+            try:
+                self.execute(parse_query(sql))
+            except H2OError:
+                # Warmup is best-effort: a shape that no longer parses
+                # or analyzes (schema drifted) simply stays cold.
+                pass
+        window_size = int(state["window_size"])
+        with self.lock:
+            monitor = Monitor(self.table.schema, window_size)
+            for sql in state.get("window_sql", []):
+                monitor.observe(parse_query(sql))
+            monitor.queries_seen = int(state.get("queries_seen", 0))
+            self.monitor = monitor
+            self.window.size = window_size
+            self.window.since_adaptation = int(
+                state.get("since_adaptation", 0)
+            )
+            self.window.shrink_events = int(state.get("shrink_events", 0))
+            self.window.grow_events = int(state.get("grow_events", 0))
+            self._query_counter = max(
+                self._query_counter, int(state.get("query_counter", 0))
+            )
+            self._reference_patterns = [
+                attrs for attrs, _ in monitor.distinct_access_sets()
+            ]
+            self.reports.clear()
+            self.candidates = []
+            self._last_adaptation_snapshot = None
+            self._shift_since_adaptation = False
 
     # Reporting -----------------------------------------------------------------
 

@@ -174,6 +174,49 @@ class ServiceClosedError(ServiceError):
     """Raised when submitting to a service that has been shut down."""
 
 
+class WALError(StorageError):
+    """Base class for write-ahead-log failures (framing, I/O)."""
+
+
+class WALCorruptionError(WALError):
+    """Raised when a *committed* WAL record fails its CRC check.
+
+    A truncated final record is the expected signature of a crash
+    mid-write and is tolerated (the tail is discarded on recovery); a
+    corrupt record **followed by further intact records** means the log
+    itself is damaged — silently truncating there would drop writes that
+    were acknowledged as durable, so recovery fails loudly instead and
+    leaves the log untouched for inspection.
+    """
+
+
+class SnapshotError(StorageError):
+    """Raised when a persisted snapshot is malformed or unreadable."""
+
+
+class GatewayError(ServiceError):
+    """Base class for errors raised by the network gateway."""
+
+
+class BadRequestError(GatewayError):
+    """Raised for malformed client input: bad JSON, a missing field, an
+    invalid table name, or columns that do not match the schema.  Maps
+    to HTTP 400; retrying the same bytes can only fail the same way."""
+
+
+class TenantQuotaError(GatewayError):
+    """Raised at admission when one tenant's in-flight quota is full.
+
+    Per-tenant back-pressure, not a store failure: other tenants are
+    unaffected and this tenant should back off and resubmit.  Maps to
+    HTTP 429.
+    """
+
+    #: Transient: the quota frees as the tenant's in-flight requests
+    #: drain.
+    is_retryable = True
+
+
 class ShardError(H2OError):
     """Raised when a shard process fails mid-query: it died, its pipe
     broke, or it missed the scatter timeout.

@@ -1,0 +1,31 @@
+"""Network gateway: asyncio HTTP serving + write-ahead durability.
+
+The serving tier that turns the in-process adaptive store into a system
+real traffic can hit (ROADMAP item 1): an asyncio HTTP/JSON server
+(:mod:`.server`) bridging onto the threaded
+:class:`~repro.service.H2OService`, multi-tenant admission
+(:mod:`.tenancy`), Prometheus metrics (:mod:`.metrics`), and a
+durability tier (:mod:`.persist` + :mod:`.wal`) that persists tables
+*and* their learned adaptation state — so a restart recovers the
+affinity statistics, layouts and plan-cache warmth the store paid
+queries to learn, not just the rows.  See docs/gateway.md.
+"""
+
+from .client import GatewayClient, GatewayHTTPError
+from .persist import DurableStore
+from .server import AppendBatcher, Gateway
+from .tenancy import Tenant, TenantRegistry
+from .wal import WALRecord, WriteAheadLog, scan_wal
+
+__all__ = [
+    "AppendBatcher",
+    "DurableStore",
+    "Gateway",
+    "GatewayClient",
+    "GatewayHTTPError",
+    "Tenant",
+    "TenantRegistry",
+    "WALRecord",
+    "WriteAheadLog",
+    "scan_wal",
+]

@@ -1,0 +1,102 @@
+"""Multi-tenant admission on top of the service's session machinery.
+
+Each distinct API key maps to a :class:`Tenant`: its own
+:class:`~repro.service.Session` (per-tenant submitted/completed/timeout
+counters for free), its own :class:`~repro.service.AdmissionController`
+quota bounding *that tenant's* in-flight requests, and per-endpoint
+request counters for ``/metrics``.  The service-wide admission bound
+still applies underneath — the tenant quota is the fairness layer that
+keeps one hot tenant from consuming the whole service-wide budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..errors import TenantQuotaError
+from ..service import AdmissionController, H2OService, Session
+
+
+class Tenant:
+    """One API key's identity, session, quota and counters."""
+
+    def __init__(
+        self, name: str, session: Session, quota: int
+    ) -> None:
+        self.name = name
+        self.session = session
+        self.admission = AdmissionController(quota)
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.rejected = 0
+
+    def acquire(self) -> None:
+        """Claim one in-flight slot or raise (HTTP 429)."""
+        with self._lock:
+            self.requests += 1
+        if not self.admission.try_acquire():
+            with self._lock:
+                self.rejected += 1
+            raise TenantQuotaError(
+                f"tenant {self.name!r} is at its quota of "
+                f"{self.admission.capacity} in-flight requests"
+            )
+
+    def release(self) -> None:
+        self.admission.release()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            snap: Dict[str, object] = {
+                "requests": self.requests,
+                "rejected_quota": self.rejected,
+            }
+        snap["in_flight"] = self.admission.in_flight
+        snap.update(self.session.stats())
+        return snap
+
+
+class TenantRegistry:
+    """API key → tenant, created on first use.
+
+    Key material is never exposed: the tenant's public name is a short
+    stable digest of the key (the default tenant keeps its plain name),
+    so ``/metrics`` labels don't leak credentials.
+    """
+
+    def __init__(
+        self,
+        service: H2OService,
+        quota: int,
+        default_tenant: str = "public",
+    ) -> None:
+        self._service = service
+        self._quota = quota
+        self._default = default_tenant
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Tenant] = {}
+
+    @staticmethod
+    def _public_name(key: str) -> str:
+        import hashlib
+
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+        return f"tenant-{digest}"
+
+    def resolve(self, api_key: Optional[str]) -> Tenant:
+        """The tenant for one request's API key (anonymous → default)."""
+        key = api_key or ""
+        with self._lock:
+            tenant = self._tenants.get(key)
+            if tenant is None:
+                name = self._public_name(key) if key else self._default
+                session = self._service.session(client=name)
+                tenant = Tenant(name, session, self._quota)
+                self._tenants[key] = tenant
+            return tenant
+
+    def tenants(self) -> Dict[str, Tenant]:
+        """Public-name → tenant (a consistent copy)."""
+        with self._lock:
+            return {t.name: t for t in self._tenants.values()}

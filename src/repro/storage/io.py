@@ -20,17 +20,39 @@ from .schema import Attribute, Schema
 
 PathLike = Union[str, Path]
 
+#: Extensions :func:`save_table` writes; :func:`_sibling` recognizes
+#: exactly these so a dotted *stem* (``data.v2``) is never mangled.
+_OWN_SUFFIXES = (".npz", ".json")
+
+
+def _sibling(path: Path, suffix: str) -> Path:
+    """``path`` with ``suffix`` appended to its full name.
+
+    Unlike ``Path.with_suffix``, the stem is preserved verbatim —
+    ``data.v2`` becomes ``data.v2.npz``, not ``data.npz``.  Only a
+    trailing extension that :func:`save_table` itself produces is
+    stripped first, so passing ``tbl``, ``tbl.npz`` or ``tbl.json``
+    all address the same pair of files.
+    """
+    name = path.name
+    for own in _OWN_SUFFIXES:
+        if name.endswith(own) and len(name) > len(own):
+            name = name[: -len(own)]
+            break
+    return path.with_name(name + suffix)
+
 
 def save_table(table: Table, path: PathLike) -> None:
     """Write a table's logical content to ``path`` (``.npz`` + ``.json``).
 
     Only the logical columns are persisted; the physical layout
     configuration is an adaptive, runtime artifact and is intentionally
-    not preserved.
+    not preserved.  (The gateway's snapshot tier layers layout and
+    learned-state persistence on top — see repro/gateway/persist.py.)
     """
     path = Path(path)
     columns = {name: table.column(name) for name in table.schema.names}
-    np.savez_compressed(path.with_suffix(".npz"), **columns)
+    np.savez_compressed(_sibling(path, ".npz"), **columns)
     meta = {
         "name": table.name,
         "num_rows": table.num_rows,
@@ -39,14 +61,14 @@ def save_table(table: Table, path: PathLike) -> None:
             for attr in table.schema
         ],
     }
-    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    _sibling(path, ".json").write_text(json.dumps(meta, indent=2))
 
 
 def load_table(path: PathLike, initial_layout: str = "column") -> Table:
     """Load a table previously written by :func:`save_table`."""
     path = Path(path)
-    meta_path = path.with_suffix(".json")
-    npz_path = path.with_suffix(".npz")
+    meta_path = _sibling(path, ".json")
+    npz_path = _sibling(path, ".npz")
     if not meta_path.exists() or not npz_path.exists():
         raise StorageError(f"no saved table at {path}")
     meta = json.loads(meta_path.read_text())

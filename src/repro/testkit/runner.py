@@ -137,6 +137,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_restart(args: argparse.Namespace) -> int:
+    from .restart import RestartOracleFailure, restart_case
+
+    started = time.perf_counter()
+    compared = 0
+    torn = 0
+    for index in range(args.seqs):
+        seed = args.seed + index
+        try:
+            evidence = restart_case(seed)
+        except RestartOracleFailure as failure:
+            print(f"RESTART FAIL seq {index} (seed {seed}):", file=sys.stderr)
+            print(f"  {failure}", file=sys.stderr)
+            return 1
+        compared += evidence.queries_compared
+        torn += int(evidence.torn_tail_injected)
+        if args.verbose:
+            print(f"ok   seq {index}: {evidence.describe()}")
+    elapsed = time.perf_counter() - started
+    print(
+        f"restart: {args.seqs} kill/recover sequences, {compared} "
+        f"post-recovery answers bit-identical, {torn} torn tails "
+        f"discarded, adaptation state preserved ({elapsed:.1f}s)"
+    )
+    return 0
+
+
 def _cmd_repro(args: argparse.Namespace) -> int:
     spec = CaseSpec(
         seed=args.seed,
@@ -199,6 +226,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("-v", "--verbose", action="store_true")
     _add_common(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    restart = sub.add_parser(
+        "restart",
+        help="run N kill/recover sequences against the durable store",
+    )
+    restart.add_argument("--seqs", type=int, default=10)
+    restart.add_argument("--seed", type=int, default=0)
+    restart.add_argument("-v", "--verbose", action="store_true")
+    restart.set_defaults(func=_cmd_restart)
 
     repro = sub.add_parser("repro", help="re-run one explicit case spec")
     repro.add_argument("--seed", type=int, required=True)

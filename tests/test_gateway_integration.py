@@ -1,0 +1,173 @@
+"""Out-of-process gateway integration: boot, SIGKILL, clean recovery.
+
+Runs ``python -m repro.gateway`` as a real subprocess, streams appends
+at it over HTTP, kills it with SIGKILL mid-stream (no graceful path at
+all), restarts it on the same data directory, and asserts the recovery
+contract: every *acknowledged* append survives, the recovered rows are
+an exact prefix-extension of the pre-kill stream (no holes, no
+reordering, no partial batch), and the reborn server accepts new work.
+
+Marked ``gateway_stress``: excluded from tier-1, run by a dedicated CI
+job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.gateway import GatewayClient, GatewayHTTPError
+
+pytestmark = pytest.mark.gateway_stress
+
+ATTRS = [{"name": "seq", "dtype": "int64"}, {"name": "v", "dtype": "float64"}]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class GatewayProcess:
+    """One ``python -m repro.gateway`` subprocess bound to port 0."""
+
+    def __init__(self, data_dir: Path, *extra_args: str) -> None:
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.gateway",
+                "--data-dir",
+                str(data_dir),
+                "--port",
+                "0",
+                "--workers",
+                "1",
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_ready(timeout=60.0)
+
+    def _await_ready(self, timeout: float) -> int:
+        """Parse the readiness line; fail fast if the server dies."""
+        result: dict = {}
+
+        def read() -> None:
+            result["line"] = self.proc.stdout.readline()
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout)
+        line = result.get("line", "")
+        if "listening on" not in line:
+            self.proc.kill()
+            stderr = self.proc.stderr.read()
+            raise AssertionError(
+                f"gateway never became ready: stdout={line!r} "
+                f"stderr={stderr[-2000:]!r}"
+            )
+        return int(line.rsplit(":", 1)[1])
+
+    def sigkill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+        if self.proc.stdout:
+            self.proc.stdout.close()
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+def test_sigkill_mid_append_stream_recovers_cleanly(tmp_path):
+    data_dir = tmp_path / "data"
+    server = GatewayProcess(data_dir, "--snapshot-every", "8")
+    acked = 0
+    try:
+        with GatewayClient("127.0.0.1", server.port, timeout=30.0) as client:
+            client.create_table("events", ATTRS, {"seq": [], "v": []})
+            # Stream single-row appends; every ack means "fsync'd".
+            for i in range(25):
+                outcome = client.append(
+                    "events", {"seq": [i], "v": [i * 0.5]}
+                )
+                assert outcome["appended"] == 1 and outcome["durable"]
+                acked += 1
+    finally:
+        server.sigkill()  # no graceful path: WAL + snapshots must carry it
+
+    reborn = GatewayProcess(data_dir, "--snapshot-every", "8")
+    try:
+        with GatewayClient("127.0.0.1", reborn.port, timeout=30.0) as client:
+            # Contract 1: every acknowledged append survived.
+            answer = client.query("SELECT count(*) FROM events")
+            recovered_rows = int(answer["rows"][0][0])
+            assert recovered_rows >= acked
+            # Contract 2: exact prefix of the stream — no holes, no
+            # reordering, no torn half-applied batch.
+            seqs = client.query("SELECT seq FROM events")["rows"]
+            assert [int(row[0]) for row in seqs] == list(range(recovered_rows))
+            # Contract 3: the reborn server accepts new work.
+            client.append("events", {"seq": [recovered_rows], "v": [1.0]})
+            after = client.query("SELECT count(*), max(seq) FROM events")
+            assert after["rows"] == [[recovered_rows + 1, recovered_rows]]
+            status, payload = client.healthz()
+            assert status == 200 and payload["status"] == "healthy"
+    finally:
+        reborn.terminate()
+
+
+def test_graceful_shutdown_checkpoints(tmp_path):
+    data_dir = tmp_path / "data"
+    server = GatewayProcess(data_dir)
+    try:
+        with GatewayClient("127.0.0.1", server.port) as client:
+            client.create_table("t", ATTRS, {"seq": [0, 1], "v": [0.0, 0.5]})
+    finally:
+        server.terminate()  # SIGTERM -> drain + final checkpoint
+    snapshots = sorted((data_dir / "snapshots").glob("snap-*"))
+    assert snapshots, "graceful shutdown should have written a snapshot"
+    assert (snapshots[-1] / "manifest.json").exists()
+
+    reborn = GatewayProcess(data_dir)
+    try:
+        with GatewayClient("127.0.0.1", reborn.port) as client:
+            assert client.query("SELECT count(*) FROM t")["rows"] == [[2]]
+    finally:
+        reborn.terminate()
+
+
+def test_server_survives_bad_requests(tmp_path):
+    server = GatewayProcess(tmp_path / "data")
+    try:
+        with GatewayClient("127.0.0.1", server.port) as client:
+            for _ in range(3):
+                with pytest.raises(GatewayHTTPError) as excinfo:
+                    client.query("SELECT count(*) FROM ghost")
+                assert excinfo.value.status == 404
+            client.create_table("t", ATTRS, {"seq": [1], "v": [1.0]})
+            assert client.query("SELECT count(*) FROM t")["rows"] == [[1]]
+    finally:
+        server.terminate()
