@@ -345,6 +345,16 @@ class GatewayConfig:
     #: of the service-wide bound); excess requests get HTTP 429 so one
     #: hot tenant cannot starve the rest.
     tenant_quota: int = 16
+    #: Distinct API keys that may hold their own tenant state.  Beyond
+    #: the cap, new keys share one ``tenant-overflow`` tenant instead of
+    #: allocating a fresh session/quota/metrics label each — bounding
+    #: memory and metrics cardinality against key-spray clients.
+    max_tenants: int = 64
+    #: Optional API-key allowlist.  ``None`` (the default) accepts any
+    #: key; a tuple rejects requests whose key is not listed with
+    #: HTTP 401 before any tenant state is allocated.  Requests with no
+    #: key at all always map to the shared ``default_tenant``.
+    api_keys: "tuple[str, ...] | None" = None
     #: Default per-request deadline in seconds; a request body may lower
     #: or raise its own via ``timeout_ms``.
     default_timeout: float = 30.0
@@ -401,6 +411,17 @@ class GatewayConfig:
         if self.snapshots_keep < 1:
             raise AdaptationError(
                 f"snapshots_keep must be >= 1, got {self.snapshots_keep}"
+            )
+        if self.max_tenants < 1:
+            raise AdaptationError(
+                f"max_tenants must be >= 1, got {self.max_tenants}"
+            )
+        if self.api_keys is not None and not all(
+            isinstance(k, str) and k for k in self.api_keys
+        ):
+            raise AdaptationError(
+                "api_keys must be non-empty strings (or None to accept "
+                "any key)"
             )
         if not self.api_key_header or "\n" in self.api_key_header:
             raise AdaptationError("api_key_header must be a header name")

@@ -1198,44 +1198,64 @@ class H2OEngine:
         the plan/operator caches, then the monitor/window/counters are
         reset to the persisted values so the warmup itself leaves no
         trace in the learned statistics.
+
+        Crash-safe: the window is pinned open only for the duration of
+        the warmup and is restored in a ``finally`` block, so neither a
+        non-H2O exception escaping a warmup query nor a malformed
+        persisted state (e.g. a missing ``window_size``) can leave the
+        engine permanently unable to adapt.
         """
+
+        def _intval(key: str, default: int = 0) -> int:
+            try:
+                return int(state.get(key, default))
+            except (TypeError, ValueError):
+                return default
+
         with self.lock:
             self.selectivity.restore(state.get("selectivities", {}))
+            # Malformed state keeps the current window size rather than
+            # poisoning it.
+            window_size = _intval("window_size", self.window.size)
             # Hold adaptation (and window bookkeeping) while warming up:
             # an adaptation phase mid-warmup would propose candidates
             # from warmup-polluted statistics and invalidate the very
             # plan-cache entries the warmup is building.
             self.window.size = 1 << 30
-        for sql in state.get("warmup_sql", []):
-            try:
-                self.execute(parse_query(sql))
-            except H2OError:
-                # Warmup is best-effort: a shape that no longer parses
-                # or analyzes (schema drifted) simply stays cold.
-                pass
-        window_size = int(state["window_size"])
-        with self.lock:
-            monitor = Monitor(self.table.schema, window_size)
-            for sql in state.get("window_sql", []):
-                monitor.observe(parse_query(sql))
-            monitor.queries_seen = int(state.get("queries_seen", 0))
-            self.monitor = monitor
-            self.window.size = window_size
-            self.window.since_adaptation = int(
-                state.get("since_adaptation", 0)
-            )
-            self.window.shrink_events = int(state.get("shrink_events", 0))
-            self.window.grow_events = int(state.get("grow_events", 0))
-            self._query_counter = max(
-                self._query_counter, int(state.get("query_counter", 0))
-            )
-            self._reference_patterns = [
-                attrs for attrs, _ in monitor.distinct_access_sets()
-            ]
-            self.reports.clear()
-            self.candidates = []
-            self._last_adaptation_snapshot = None
-            self._shift_since_adaptation = False
+        try:
+            for sql in state.get("warmup_sql", []):
+                try:
+                    self.execute(parse_query(sql))
+                except H2OError:
+                    # Warmup is best-effort: a shape that no longer
+                    # parses or analyzes (schema drifted) stays cold.
+                    pass
+        finally:
+            with self.lock:
+                self.window.size = window_size
+                monitor = Monitor(self.table.schema, window_size)
+                for sql in state.get("window_sql", []):
+                    try:
+                        monitor.observe(parse_query(sql))
+                    except H2OError:
+                        # A window shape that no longer parses stays
+                        # out of the recovered window.
+                        pass
+                monitor.queries_seen = _intval("queries_seen")
+                self.monitor = monitor
+                self.window.since_adaptation = _intval("since_adaptation")
+                self.window.shrink_events = _intval("shrink_events")
+                self.window.grow_events = _intval("grow_events")
+                self._query_counter = max(
+                    self._query_counter, _intval("query_counter")
+                )
+                self._reference_patterns = [
+                    attrs for attrs, _ in monitor.distinct_access_sets()
+                ]
+                self.reports.clear()
+                self.candidates = []
+                self._last_adaptation_snapshot = None
+                self._shift_since_adaptation = False
 
     # Reporting -----------------------------------------------------------------
 

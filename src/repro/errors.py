@@ -204,6 +204,12 @@ class BadRequestError(GatewayError):
     to HTTP 400; retrying the same bytes can only fail the same way."""
 
 
+class AuthError(GatewayError):
+    """Raised when a request presents an API key that is not in the
+    gateway's configured allowlist (``GatewayConfig.api_keys``).  Maps
+    to HTTP 401; no tenant state is allocated for the rejected key."""
+
+
 class TenantQuotaError(GatewayError):
     """Raised at admission when one tenant's in-flight quota is full.
 

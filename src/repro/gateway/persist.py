@@ -46,6 +46,7 @@ from ..errors import (
     CatalogError,
     SchemaError,
     SnapshotError,
+    StorageError,
 )
 from ..service import H2OService
 from ..sql.types import DataType
@@ -155,6 +156,20 @@ def _coerce_columns(
     return out
 
 
+def _fsync_path(path: Path) -> None:
+    """fsync one file or directory by path.
+
+    Directory fsyncs persist the directory *entries* (new files, the
+    manifest rename); without them a power loss can leave a snapshot
+    whose data files exist in the page cache only.
+    """
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 # Snapshot serialization ----------------------------------------------------
 
 
@@ -204,6 +219,8 @@ def write_snapshot(
     seq: int,
     tables: Mapping[str, Table],
     states: Mapping[str, Mapping[str, object]],
+    *,
+    fsync: bool = True,
 ) -> Path:
     """Write one complete snapshot directory; returns its path.
 
@@ -217,6 +234,13 @@ def write_snapshot(
 
     ``seq`` disambiguates checkpoints taken at the same LSN (the rows
     didn't change but the learned state did).
+
+    Durability ordering (``fsync=True``): every data file and the
+    directory entries holding them are fsync'd *before* the manifest is
+    renamed into place, and the directories are fsync'd again after the
+    rename.  The manifest therefore never advertises a snapshot whose
+    contents could still be page-cache-only — callers may compact the
+    WAL the moment this returns, even against power loss.
     """
     directory = Path(directory)
     snap_dir = directory / f"snap-{lsn:016d}-{seq:06d}"
@@ -236,6 +260,12 @@ def write_snapshot(
         }
     }
     (snap_dir / "state.json").write_text(json.dumps(state))
+    if fsync:
+        for child in sorted(tables_dir.iterdir()):
+            _fsync_path(child)
+        _fsync_path(snap_dir / "state.json")
+        _fsync_path(tables_dir)
+        _fsync_path(snap_dir)
     manifest = {
         "format": SNAPSHOT_FORMAT,
         "lsn": int(lsn),
@@ -249,6 +279,13 @@ def write_snapshot(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, manifest_path)
+    if fsync:
+        _fsync_path(snap_dir)
+        # The snapshots directory itself (its entry for snap_dir), and
+        # its own entry in the data dir — mkdir(parents=True) above may
+        # have just created it.
+        _fsync_path(directory)
+        _fsync_path(directory.parent)
     return snap_dir
 
 
@@ -386,6 +423,7 @@ class DurableStore:
         self._next_lsn = max_lsn + 1
         self._records_since_checkpoint = len(scan.records)
         self.checkpoints = 0
+        self.apply_divergences = 0
 
         # ---- Service + engines ------------------------------------------
         self.service = H2OService(
@@ -518,19 +556,53 @@ class DurableStore:
                         columns=arrays,
                     )
                 )
-                applies.append((index, table, arrays))
+                applies.append((index, lsn, table, arrays))
                 lsn += 1
-            if records and self.gateway_config.wal_enabled:
+            wal_logged = bool(records and self.gateway_config.wal_enabled)
+            if wal_logged:
                 self._wal.append_batch(records)  # the group commit
-            for index, table, arrays in applies:
-                table.append_rows(arrays)
-                rows = int(next(iter(arrays.values())).shape[0])
-                outcomes[index] = rows
+            for index, item_lsn, table, arrays in applies:
+                try:
+                    # _coerce_columns validated shape/dtype above, so
+                    # this should never raise — but if it does after
+                    # the WAL fsync, the other items in the batch (some
+                    # already applied and durable) must not be reported
+                    # failed with it.
+                    table.append_rows(arrays)
+                except Exception as exc:
+                    outcomes[index] = self._apply_divergence(
+                        table.name, item_lsn, exc, wal_logged
+                    )
+                    continue
+                outcomes[index] = int(next(iter(arrays.values())).shape[0])
             if records:
+                # LSNs advance for every WAL-logged record, applied or
+                # not: the log is authoritative and replay will apply a
+                # diverged record on restart.
                 self._next_lsn = lsn
                 self._applied_lsn = lsn - 1
                 self._note_records(len(records))
         return outcomes
+
+    def _apply_divergence(
+        self, name: str, lsn: int, exc: Exception, wal_logged: bool
+    ) -> Exception:
+        """Describe an append that failed *after* its WAL record.
+
+        In-memory and durable state now disagree for this record until
+        a restart replays it; count it (surfaced via :meth:`stats` and
+        ``/metrics``) and hand the caller an error that says so.
+        """
+        if not wal_logged:
+            return exc
+        self.apply_divergences += 1
+        failure = StorageError(
+            f"append to {name!r} (lsn {lsn}) is durable in the WAL but "
+            f"failed to apply in memory: {exc}; the write will be "
+            "applied by WAL replay on the next restart"
+        )
+        failure.__cause__ = exc
+        return failure
 
     def _note_records(self, count: int) -> None:
         """Auto-checkpoint bookkeeping (caller holds the lock)."""
@@ -546,7 +618,20 @@ class DurableStore:
         return self.service.execute(query, session=session, timeout=timeout)
 
     def tables(self) -> List[str]:
-        return sorted(self.system.catalog)
+        with self._lock:
+            return sorted(self.system.catalog)
+
+    def table_infos(self) -> List[Dict[str, object]]:
+        """Name + row count per table, snapshotted under the apply lock
+        so a concurrent create cannot mutate the catalog mid-listing."""
+        with self._lock:
+            return [
+                {
+                    "name": name,
+                    "num_rows": self.system.catalog.get(name).num_rows,
+                }
+                for name in sorted(self.system.catalog)
+            ]
 
     # -- checkpointing -----------------------------------------------------
 
@@ -555,9 +640,13 @@ class DurableStore:
 
         Holds the apply lock, so the snapshot is consistent with one
         LSN; queries keep running (they never take this lock).  The WAL
-        is compacted only *after* the manifest makes the snapshot
-        authoritative — a crash between the two replays a tail the
-        snapshot already contains, which recovery skips by LSN.
+        is compacted only *after* the snapshot is durable: every data
+        file, directory entry and the manifest rename are fsync'd first
+        (when ``wal_fsync`` is on), so a power loss after the compaction
+        can never leave an empty WAL pointing at an invisible or
+        unreadable snapshot.  A crash *between* snapshot and compaction
+        merely replays a tail the snapshot already contains, which
+        recovery skips by LSN.
         """
         with self._lock:
             tables = {
@@ -574,6 +663,7 @@ class DurableStore:
                 self._checkpoint_seq,
                 tables,
                 states,
+                fsync=self.gateway_config.wal_fsync,
             )
             self._checkpoint_seq += 1
             self._wal.rewrite([])
@@ -617,6 +707,7 @@ class DurableStore:
         with self._lock:
             snap: Dict[str, object] = {
                 "applied_lsn": self._applied_lsn,
+                "apply_divergences": self.apply_divergences,
                 "checkpoints": self.checkpoints,
                 "records_since_checkpoint": self._records_since_checkpoint,
                 "recovered": self.recovered,

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import GatewayConfig
 from ..errors import (
+    AuthError,
     BadRequestError,
     CatalogError,
     GatewayError,
@@ -55,6 +56,7 @@ from .tenancy import Tenant, TenantRegistry
 _STATUS_MAP: Tuple[Tuple[type, int], ...] = (
     (HTTPError, 400),  # carries its own status; handled specially
     (QueryTimeoutError, 504),
+    (AuthError, 401),
     (TenantQuotaError, 429),
     (ServiceOverloadedError, 429),
     (ServiceClosedError, 503),
@@ -218,6 +220,8 @@ class Gateway:
             store.service,
             quota=self.config.tenant_quota,
             default_tenant=self.config.default_tenant,
+            allowed_keys=self.config.api_keys,
+            max_tenants=self.config.max_tenants,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=8, thread_name_prefix="gateway-exec"
@@ -465,13 +469,13 @@ class Gateway:
         }
 
     async def _handle_list_tables(self, request: Request):
-        catalog = self.store.system.catalog
-        tables = []
-        for table_name in sorted(catalog):
-            table = catalog.get(table_name)
-            tables.append(
-                {"name": table.name, "num_rows": table.num_rows}
-            )
+        # Snapshot under the store's apply lock (in the executor so the
+        # event loop never blocks on it): iterating the live catalog
+        # here would race concurrent creates.
+        loop = asyncio.get_running_loop()
+        tables = await loop.run_in_executor(
+            self._executor, self.store.table_infos
+        )
         return 200, {"tables": tables}
 
     async def _handle_checkpoint(self, request: Request):

@@ -12,9 +12,9 @@ keeps one hot tenant from consuming the whole service-wide budget.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
-from ..errors import TenantQuotaError
+from ..errors import AuthError, TenantQuotaError
 from ..service import AdmissionController, H2OService, Session
 
 
@@ -58,24 +58,47 @@ class Tenant:
 
 
 class TenantRegistry:
-    """API key → tenant, created on first use.
+    """API key → tenant, created on first use — but *bounded*.
+
+    Tenant state (a session, an admission quota, a ``/metrics`` label)
+    is allocated per distinct key, so an unvalidated registry would let
+    any client grow memory and metrics cardinality without limit by
+    spraying fresh keys.  Two defenses:
+
+    - an optional **allowlist** (``allowed_keys``): when configured,
+      unknown keys are rejected with :class:`~repro.errors.AuthError`
+      (HTTP 401) before any state is allocated;
+    - a **cap** (``max_tenants``) on distinct keyed tenants: beyond it,
+      new keys share one ``tenant-overflow`` tenant — they still get
+      admission control, just not isolation from each other.
 
     Key material is never exposed: the tenant's public name is a short
     stable digest of the key (the default tenant keeps its plain name),
     so ``/metrics`` labels don't leak credentials.
     """
 
+    #: Public name of the shared tenant handed to keys past the cap.
+    OVERFLOW_NAME = "tenant-overflow"
+
     def __init__(
         self,
         service: H2OService,
         quota: int,
         default_tenant: str = "public",
+        allowed_keys: Optional[Iterable[str]] = None,
+        max_tenants: int = 64,
     ) -> None:
         self._service = service
         self._quota = quota
         self._default = default_tenant
+        self._allowed = (
+            None if allowed_keys is None else frozenset(allowed_keys)
+        )
+        self._max = max(1, int(max_tenants))
         self._lock = threading.Lock()
         self._tenants: Dict[str, Tenant] = {}
+        self._keyed = 0  # tenants in _tenants with a non-empty key
+        self._overflow: Optional[Tenant] = None
 
     @staticmethod
     def _public_name(key: str) -> str:
@@ -87,16 +110,32 @@ class TenantRegistry:
     def resolve(self, api_key: Optional[str]) -> Tenant:
         """The tenant for one request's API key (anonymous → default)."""
         key = api_key or ""
+        if key and self._allowed is not None and key not in self._allowed:
+            raise AuthError("unknown API key")
         with self._lock:
             tenant = self._tenants.get(key)
-            if tenant is None:
-                name = self._public_name(key) if key else self._default
-                session = self._service.session(client=name)
-                tenant = Tenant(name, session, self._quota)
-                self._tenants[key] = tenant
+            if tenant is not None:
+                return tenant
+            if key and self._keyed >= self._max:
+                if self._overflow is None:
+                    self._overflow = Tenant(
+                        self.OVERFLOW_NAME,
+                        self._service.session(client=self.OVERFLOW_NAME),
+                        self._quota,
+                    )
+                return self._overflow
+            name = self._public_name(key) if key else self._default
+            session = self._service.session(client=name)
+            tenant = Tenant(name, session, self._quota)
+            self._tenants[key] = tenant
+            if key:
+                self._keyed += 1
             return tenant
 
     def tenants(self) -> Dict[str, Tenant]:
         """Public-name → tenant (a consistent copy)."""
         with self._lock:
-            return {t.name: t for t in self._tenants.values()}
+            out = {t.name: t for t in self._tenants.values()}
+            if self._overflow is not None:
+                out[self._overflow.name] = self._overflow
+            return out

@@ -158,3 +158,51 @@ class TestPhasesAccounting:
         assert "plan" in totals and "execute" in totals
         assert "adapt" in totals  # at least one adaptation ran
         assert engine.cumulative_seconds() >= totals["execute"]
+
+
+class TestSeedAdaptationRobustness:
+    """seed_adaptation_state must never leave the window pinned open
+    (1 << 30) — not for malformed persisted state, not for a non-H2O
+    exception escaping a warmup query."""
+
+    def test_missing_window_size_keeps_current(self, wide_table):
+        engine = H2OEngine(wide_table, EngineConfig(window_size=10))
+        engine.seed_adaptation_state({"warmup_sql": ["SELECT a1 FROM r"]})
+        assert engine.window.size == 10
+
+    def test_garbage_window_size_keeps_current(self, wide_table):
+        engine = H2OEngine(wide_table, EngineConfig(window_size=10))
+        engine.seed_adaptation_state(
+            {"window_size": "garbage", "queries_seen": None}
+        )
+        assert engine.window.size == 10
+        assert engine.monitor.queries_seen == 0
+
+    def test_warmup_crash_restores_window(self, wide_table, monkeypatch):
+        engine = H2OEngine(wide_table, EngineConfig(window_size=10))
+
+        def boom(query):
+            raise RuntimeError("not an H2OError")
+
+        monkeypatch.setattr(engine, "execute", boom)
+        with pytest.raises(RuntimeError):
+            engine.seed_adaptation_state(
+                {"window_size": 7, "warmup_sql": ["SELECT a1 FROM r"]}
+            )
+        assert engine.window.size == 7  # restored despite the crash
+        monkeypatch.undo()
+        # the engine still executes and observes normally afterwards
+        engine.execute("SELECT a1 FROM r")
+        assert engine.monitor.queries_seen == 1
+
+    def test_unparseable_window_sql_is_skipped(self, wide_table):
+        engine = H2OEngine(wide_table, EngineConfig(window_size=10))
+        engine.seed_adaptation_state(
+            {
+                "window_size": 8,
+                "window_sql": ["SELECT a1 FROM r", "NOT SQL AT ALL"],
+                "queries_seen": 2,
+            }
+        )
+        assert engine.window.size == 8
+        assert engine.monitor.queries_seen == 2

@@ -279,3 +279,40 @@ def test_metrics_exposition(client):
     # every exposed family is well-formed: HELP/TYPE precede samples
     for line in text.splitlines():
         assert line.startswith("#") or " " in line
+
+
+def test_allowlist_rejects_unknown_key_with_401(tmp_path):
+    with running_gateway(tmp_path / "data", api_keys=("secret",)) as gateway:
+        with GatewayClient(
+            "127.0.0.1", gateway.port, api_key="secret"
+        ) as ok:
+            seed_table(ok)
+            assert ok.query("SELECT count(*) FROM t")["rows"] == [[50]]
+        tenants_before = len(gateway.tenants.tenants())
+        with GatewayClient(
+            "127.0.0.1", gateway.port, api_key="wrong"
+        ) as bad:
+            with pytest.raises(GatewayHTTPError) as excinfo:
+                bad.query("SELECT count(*) FROM t")
+        assert excinfo.value.status == 401
+        # rejection happens before any tenant state is allocated
+        assert len(gateway.tenants.tenants()) == tenants_before
+        # anonymous requests still share the default tenant
+        with GatewayClient("127.0.0.1", gateway.port) as anon:
+            assert anon.query("SELECT count(*) FROM t")["tenant"] == "public"
+
+
+def test_tenant_cap_overflows_to_shared_tenant(tmp_path):
+    with running_gateway(tmp_path / "data", max_tenants=2) as gateway:
+        with GatewayClient("127.0.0.1", gateway.port) as anon:
+            seed_table(anon)
+        names = []
+        for key in ("k1", "k2", "k3", "k4"):
+            with GatewayClient(
+                "127.0.0.1", gateway.port, api_key=key
+            ) as c:
+                names.append(c.query("SELECT count(*) FROM t")["tenant"])
+        assert len(set(names[:2])) == 2  # first two keys get isolation
+        assert names[2] == names[3] == "tenant-overflow"
+        # registry stays bounded: 2 keyed + default + overflow
+        assert len(gateway.tenants.tenants()) == 4

@@ -406,3 +406,153 @@ def test_load_snapshot_roundtrips_layout_descriptors(tmp_path):
         (layout.kind.name, tuple(layout.attrs)) for layout in table.layouts
     ]
     assert loaded.column("y").tolist() == table.column("y").tolist()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot durability ordering + apply-divergence isolation
+# ---------------------------------------------------------------------------
+
+
+def _int_table(name="g", rows=10):
+    from repro.sql.types import DataType
+    from repro.storage import Schema, Table
+    from repro.storage.schema import Attribute
+
+    schema = Schema(
+        [Attribute("x", DataType.INT64), Attribute("y", DataType.INT64)]
+    )
+    return Table.from_columns(
+        name,
+        schema,
+        {
+            "x": np.arange(rows, dtype=np.int64),
+            "y": np.arange(rows, dtype=np.int64) * 2,
+        },
+    )
+
+
+def test_write_snapshot_fsyncs_data_before_manifest(tmp_path, monkeypatch):
+    """Every snapshot file and directory entry is fsync'd before the
+    manifest advertises completeness, and the directories again after
+    the rename — so compacting the WAL right after write_snapshot
+    returns cannot lose acknowledged writes to a power cut."""
+    from repro.gateway import persist
+
+    events = []  # (fsynced name, manifest visible at that instant)
+    real = persist._fsync_path
+
+    def recording(path):
+        visible = any((tmp_path / "snaps").glob("snap-*/manifest.json"))
+        events.append((path.name, visible))
+        real(path)
+
+    monkeypatch.setattr(persist, "_fsync_path", recording)
+    snap = write_snapshot(
+        tmp_path / "snaps",
+        lsn=1,
+        seq=0,
+        tables={"g": _int_table()},
+        states={"g": {}},
+    )
+    before = {name for name, visible in events if not visible}
+    after = {name for name, visible in events if visible}
+    # data files + their directory entries durable pre-manifest
+    assert {"g.npz", "g.json", "state.json", "tables", snap.name} <= before
+    # the rename itself made durable afterwards
+    assert {snap.name, "snaps"} <= after
+
+
+def test_write_snapshot_fsync_off_skips_syncs(tmp_path, monkeypatch):
+    from repro.gateway import persist
+
+    calls = []
+    monkeypatch.setattr(persist, "_fsync_path", calls.append)
+    write_snapshot(
+        tmp_path / "snaps",
+        lsn=1,
+        seq=0,
+        tables={"g": _int_table()},
+        states={"g": {}},
+        fsync=False,
+    )
+    assert calls == []
+
+
+def test_checkpoint_fsync_follows_wal_fsync_knob(tmp_path, monkeypatch):
+    from repro.gateway import persist
+
+    calls = []
+    real = persist._fsync_path
+
+    def recording(path):
+        calls.append(path)
+        real(path)
+
+    monkeypatch.setattr(persist, "_fsync_path", recording)
+    store = open_store(tmp_path / "d")
+    store.create_table("t", ATTRS, {"a": [1], "f": [1.0]})
+    store.checkpoint()
+    assert calls  # durable mode fsyncs the snapshot tree
+    store.close(checkpoint=False)
+
+    calls.clear()
+    relaxed = open_store(tmp_path / "d2", wal_fsync=False)
+    relaxed.create_table("t", ATTRS, {"a": [1], "f": [1.0]})
+    relaxed.checkpoint()
+    assert calls == []  # ablation mode: page cache only, like the WAL
+    relaxed.close(checkpoint=False)
+
+
+def test_apply_failure_after_wal_fsync_is_isolated(tmp_path, monkeypatch):
+    """An append that fails to apply *after* its WAL record is durable
+    must not fail the rest of the batch; it is surfaced as a divergence
+    and healed by replay on the next restart."""
+    from repro.errors import StorageError
+    from repro.storage.relation import Table
+
+    store = open_store(tmp_path / "d")
+    store.create_table("t", ATTRS, {"a": [1], "f": [1.0]})
+    real = Table.append_rows
+    calls = {"n": 0}
+
+    def failing(self, arrays):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("simulated apply failure")
+        return real(self, arrays)
+
+    monkeypatch.setattr(Table, "append_rows", failing)
+    outcomes = store.append_many(
+        [
+            ("t", {"a": [2], "f": [2.0]}),  # WAL-durable, apply fails
+            ("t", {"a": [3], "f": [3.0]}),  # must still apply
+        ]
+    )
+    assert isinstance(outcomes[0], StorageError)
+    assert "durable in the WAL" in str(outcomes[0])
+    assert outcomes[1] == 1
+    assert store.stats()["apply_divergences"] == 1
+    # in-memory: seed row + the one applied append
+    assert store.execute("SELECT count(*) FROM t").result.data.tolist() == [
+        [2]
+    ]
+    monkeypatch.undo()
+    store.abandon()
+    recovered = open_store(tmp_path / "d")
+    # replay heals the divergence: all three WAL records applied
+    assert recovered.execute(
+        "SELECT count(*) FROM t"
+    ).result.data.tolist() == [[3]]
+    assert recovered.stats()["apply_divergences"] == 0
+    recovered.close(checkpoint=False)
+
+
+def test_table_infos_is_a_consistent_snapshot(tmp_path):
+    store = open_store(tmp_path / "d")
+    store.create_table("b", ATTRS, {"a": [1], "f": [1.0]})
+    store.create_table("a", ATTRS)
+    assert store.table_infos() == [
+        {"name": "a", "num_rows": 0},
+        {"name": "b", "num_rows": 1},
+    ]
+    store.close(checkpoint=False)
