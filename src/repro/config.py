@@ -146,6 +146,25 @@ class EngineConfig:
     #: layout may be materialized (its expected net gain must also be
     #: positive, so this is a floor, not the whole amortization test).
     amortization_threshold: float = 1.0
+    #: Which layout-switching policy gates materialization:
+    #: - "greedy-paper" (the paper's H2O): any candidate that covers the
+    #:   query, clears ``amortization_threshold`` and has positive
+    #:   expected gain is built immediately — reorganizations are paid
+    #:   up front with no guarantee they amortize;
+    #: - "guarded": the regret-bounded policy (docs/adaptation.md).  A
+    #:   per-candidate ledger accrues the Eq. 2 benefit the candidate
+    #:   *would have delivered* on each query it covers; the build is
+    #:   deferred until accrued benefit reaches ``hedging_factor`` times
+    #:   the projected build cost, bounding total reorganization spend
+    #:   to a constant factor of the benefit actually observed (the
+    #:   ski-rental discipline of arXiv 2405.04984).
+    adaptation_policy: str = "greedy-paper"
+    #: The guarded policy's hedging factor: accrued estimated benefit
+    #: must reach this multiple of a candidate's projected build cost
+    #: before the switch is allowed.  0 makes the guarded policy
+    #: decision-identical to greedy; larger values trade adaptation
+    #: latency for thrash resistance.  Ignored under "greedy-paper".
+    hedging_factor: float = 2.0
     #: Maximum number of candidate layouts kept in the candidate pool.
     max_candidates: int = 8
     #: Estimated future uses of a proposed layout, as a multiple of its
@@ -249,6 +268,15 @@ class EngineConfig:
             raise AdaptationError(
                 f"plan_cache_size must be positive, got "
                 f"{self.plan_cache_size}"
+            )
+        if self.adaptation_policy not in ("greedy-paper", "guarded"):
+            raise AdaptationError(
+                "adaptation_policy must be 'greedy-paper' or 'guarded', "
+                f"got {self.adaptation_policy!r}"
+            )
+        if self.hedging_factor < 0:
+            raise AdaptationError(
+                f"hedging_factor must be >= 0, got {self.hedging_factor}"
             )
         if self.adaptation_mode not in ("inline", "background"):
             raise AdaptationError(

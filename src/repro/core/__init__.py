@@ -9,6 +9,8 @@ Components map one-to-one onto the paper's architecture (Fig. 3):
 - :mod:`~repro.core.cost_model` — I/O + cache-miss cost model (Eq. 2),
 - :mod:`~repro.core.advisor` — candidate-layout generation by iterative
   merging, costed with workload + transformation cost (Eq. 1),
+- :mod:`~repro.core.adaptation_policy` — the layout-switching policy
+  (greedy-paper vs the regret-bounded guarded ledger),
 - :mod:`~repro.core.layout_manager` — owns the physical layouts,
 - :mod:`~repro.core.reorganizer` — offline and online (fused with query
   execution) data reorganization,
@@ -17,6 +19,13 @@ Components map one-to-one onto the paper's architecture (Fig. 3):
 - :mod:`~repro.core.engine` — the query processor tying it together.
 """
 
+from .adaptation_policy import (
+    AdaptationPolicy,
+    GuardedPolicy,
+    LedgerEntry,
+    SwitchRecord,
+    make_policy,
+)
 from .affinity import AffinityMatrix
 from .cost_model import CostModel, SelectivityEstimator
 from .monitor import AccessPattern, Monitor
@@ -30,6 +39,11 @@ from .engine import H2OEngine, QueryReport
 from .system import H2OSystem, build_system
 
 __all__ = [
+    "AdaptationPolicy",
+    "GuardedPolicy",
+    "LedgerEntry",
+    "SwitchRecord",
+    "make_policy",
     "AffinityMatrix",
     "CostModel",
     "SelectivityEstimator",

@@ -1,0 +1,382 @@
+"""Layout-switching policies: when may a candidate actually be built?
+
+The paper's H2O is *greedy*: the moment a candidate layout covers the
+incoming query, clears the amortization floor and shows positive
+expected gain, it is materialized — the reorganization is paid up front
+on the bet that the workload stays put.  Adversarial workloads (a
+ping-pong between query classes, a periodic shift) break that bet:
+every phase change buys a layout the next phase abandons, and the
+engine thrashes.
+
+The *guarded* policy treats each reorganization as an investment hedged
+against observed benefit, following the ski-rental discipline of
+"Dynamic Data Layout Optimization with Worst-case Guarantees" (arXiv
+2405.04984).  Per candidate layout it keeps a ledger entry accruing the
+Eq. 2 benefit the candidate *would have delivered* on every windowed
+query it covers (``CandidateLayout.benefit_per_use``, the advisor's
+per-use cost-model delta).  The switch is allowed only once
+
+    accrued_benefit >= hedging_factor * projected_build_cost
+
+so by construction, at every switch the benefit already foregone covers
+the hedged build cost:
+
+    hedging_factor * (total reorganization cost)  <=  total accrued
+                                                      benefit at switch
+
+— the **regret invariant** the property tests in
+tests/test_adaptation_policy.py assert on arbitrary workload streams.
+A workload that never re-uses a layout long enough to accrue its hedged
+cost never pays for it; a stable workload pays a one-off delay of
+``hedging_factor`` build-costs' worth of benefit and then switches
+exactly as greedy would.  With ``hedging_factor == 0`` the gate is
+always open and the policy is decision-identical to greedy.
+
+Both policies expose the same interface, so the engine carries exactly
+one conditional (which class to construct).  All methods are called
+under ``engine.lock``; the policy itself is not thread-safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..config import EngineConfig
+from .advisor import CandidateLayout
+
+#: Ledger entries kept per policy; beyond this the lowest-accrual entry
+#: is evicted (an adversary spraying one-off shapes must not grow the
+#: ledger without bound).
+MAX_LEDGER_ENTRIES = 128
+
+#: Switch records retained for export/inspection (totals are exact
+#: regardless; only the per-switch evidence list is bounded).
+MAX_SWITCH_RECORDS = 256
+
+
+@dataclass
+class LedgerEntry:
+    """Running debt/benefit account for one candidate layout."""
+
+    attrs: Tuple[str, ...]
+    #: Cumulative estimated benefit (Eq. 2 delta per covered query).
+    accrued: float = 0.0
+    #: Latest projected build cost (advisor estimate, refreshed on
+    #: every observation).
+    projected_cost: float = 0.0
+    #: Covered queries that contributed to ``accrued``.
+    observations: int = 0
+    #: Times the guard refused an otherwise-eligible materialization.
+    deferrals: int = 0
+    #: Query index of the most recent contributing observation.
+    last_observed: int = -1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "attrs": list(self.attrs),
+            "accrued": self.accrued,
+            "projected_cost": self.projected_cost,
+            "observations": self.observations,
+            "deferrals": self.deferrals,
+            "last_observed": self.last_observed,
+        }
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """Evidence captured at the moment a materialization was allowed."""
+
+    attrs: Tuple[str, ...]
+    #: Benefit accrued by the ledger entry when the switch was granted.
+    accrued: float
+    #: The candidate's build-cost estimate at switch time.
+    build_cost: float
+    #: The hedging factor in force (0 under greedy).
+    hedging_factor: float
+    query_index: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "attrs": list(self.attrs),
+            "accrued": self.accrued,
+            "build_cost": self.build_cost,
+            "hedging_factor": self.hedging_factor,
+            "query_index": self.query_index,
+        }
+
+
+class AdaptationPolicy:
+    """The greedy (paper-faithful) policy: every gate is open.
+
+    Also the shared base class.  It still keeps the switch ledger so
+    ``engine.stats()`` / ``health()`` report reorganization spend
+    uniformly across policies.
+    """
+
+    name = "greedy-paper"
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+        self.hedging_factor = 0.0
+        self.ledger: Dict[FrozenSet[str], LedgerEntry] = {}
+        self.switches: List[SwitchRecord] = []
+        #: Totals are exact even when ``switches`` is truncated.
+        self.switch_count = 0
+        self.invested_cost = 0.0
+        self.accrued_at_switch = 0.0
+        self.deferrals = 0
+
+    # Decision interface ---------------------------------------------------
+
+    def observe(
+        self,
+        select_attrs: FrozenSet[str],
+        where_attrs: FrozenSet[str],
+        candidates: Iterable[CandidateLayout],
+        query_index: int,
+    ) -> bool:
+        """Account one query against the candidate ledger.
+
+        Returns True when the engine should *skip the plan-cache fast
+        lane* for this query: a previously deferred candidate now
+        clears its hedged threshold, and only the cold path can trigger
+        its materialization.  Greedy never defers, hence never asks for
+        the bypass — fast-lane behaviour is untouched.
+        """
+        return False
+
+    def allow_materialization(
+        self, candidate: CandidateLayout, query_index: int
+    ) -> bool:
+        """May this candidate be built right now?  Greedy: always."""
+        return True
+
+    def would_allow(self, candidate: CandidateLayout) -> bool:
+        """Side-effect-free preview of :meth:`allow_materialization`.
+
+        Used by the background scheduler's polling loop, which must not
+        inflate the deferral counters on every cycle.
+        """
+        return True
+
+    def note_materialized(
+        self, candidate: CandidateLayout, query_index: int
+    ) -> None:
+        """Record that ``candidate`` was actually built."""
+        entry = self.ledger.pop(candidate.attr_set, None)
+        accrued = entry.accrued if entry is not None else 0.0
+        self._record_switch(
+            SwitchRecord(
+                attrs=tuple(candidate.attrs),
+                accrued=accrued,
+                build_cost=candidate.build_cost,
+                hedging_factor=self.hedging_factor,
+                query_index=query_index,
+            )
+        )
+
+    def _record_switch(self, record: SwitchRecord) -> None:
+        self.switch_count += 1
+        self.invested_cost += record.build_cost
+        self.accrued_at_switch += record.accrued
+        self.switches.append(record)
+        if len(self.switches) > MAX_SWITCH_RECORDS:
+            del self.switches[0]
+
+    # The regret invariant -------------------------------------------------
+
+    def regret_bound_satisfied(self, tolerance: float = 1e-9) -> bool:
+        """``hedging_factor * invested_cost <= accrued_at_switch``.
+
+        The guarded policy maintains this by construction (every switch
+        is granted only once its entry's accrual covers the hedged
+        cost); for greedy the factor is 0 and the bound is vacuous.
+        """
+        bound = self.hedging_factor * self.invested_cost
+        return bound <= self.accrued_at_switch + tolerance
+
+    # Introspection / persistence -----------------------------------------
+
+    def snapshot(self, ledger_limit: int = 8) -> Dict[str, object]:
+        """Bounded summary for ``engine.stats()`` and service health."""
+        hottest = sorted(
+            self.ledger.values(), key=lambda e: -e.accrued
+        )[:ledger_limit]
+        return {
+            "policy": self.name,
+            "hedging_factor": self.hedging_factor,
+            "switches": self.switch_count,
+            "invested_cost": self.invested_cost,
+            "accrued_at_switch": self.accrued_at_switch,
+            "deferrals": self.deferrals,
+            "ledger_entries": len(self.ledger),
+            "ledger": {
+                ",".join(entry.attrs): {
+                    "accrued": entry.accrued,
+                    "projected_cost": entry.projected_cost,
+                    "observations": entry.observations,
+                    "deferrals": entry.deferrals,
+                }
+                for entry in hottest
+            },
+        }
+
+    def export(self) -> Dict[str, object]:
+        """JSON-serializable full state (see ``adaptation_state()``)."""
+        return {
+            "policy": self.name,
+            "hedging_factor": self.hedging_factor,
+            "switch_count": self.switch_count,
+            "invested_cost": self.invested_cost,
+            "accrued_at_switch": self.accrued_at_switch,
+            "deferrals": self.deferrals,
+            "entries": [
+                entry.as_dict() for entry in self.ledger.values()
+            ],
+            "switches": [record.as_dict() for record in self.switches],
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace this policy's state with an exported one.
+
+        Tolerant of malformed or cross-policy snapshots: every field
+        falls back to a clean default, so a corrupt checkpoint yields a
+        fresh ledger rather than a crash.  The configured
+        ``hedging_factor`` is *not* overwritten — the knob belongs to
+        the running config, the ledger to the recovered history.
+        """
+        if not isinstance(state, dict):
+            return
+        self.switch_count = _as_int(state.get("switch_count"))
+        self.invested_cost = _as_float(state.get("invested_cost"))
+        self.accrued_at_switch = _as_float(state.get("accrued_at_switch"))
+        self.deferrals = _as_int(state.get("deferrals"))
+        self.ledger = {}
+        entries = state.get("entries", [])
+        if isinstance(entries, list):
+            for raw in entries[:MAX_LEDGER_ENTRIES]:
+                if not isinstance(raw, dict):
+                    continue
+                attrs = raw.get("attrs")
+                if not isinstance(attrs, (list, tuple)) or not attrs:
+                    continue
+                attrs = tuple(str(a) for a in attrs)
+                self.ledger[frozenset(attrs)] = LedgerEntry(
+                    attrs=attrs,
+                    accrued=_as_float(raw.get("accrued")),
+                    projected_cost=_as_float(raw.get("projected_cost")),
+                    observations=_as_int(raw.get("observations")),
+                    deferrals=_as_int(raw.get("deferrals")),
+                    last_observed=_as_int(raw.get("last_observed"), -1),
+                )
+        self.switches = []
+        switches = state.get("switches", [])
+        if isinstance(switches, list):
+            for raw in switches[-MAX_SWITCH_RECORDS:]:
+                if not isinstance(raw, dict):
+                    continue
+                attrs = raw.get("attrs")
+                if not isinstance(attrs, (list, tuple)):
+                    continue
+                self.switches.append(
+                    SwitchRecord(
+                        attrs=tuple(str(a) for a in attrs),
+                        accrued=_as_float(raw.get("accrued")),
+                        build_cost=_as_float(raw.get("build_cost")),
+                        hedging_factor=_as_float(
+                            raw.get("hedging_factor")
+                        ),
+                        query_index=_as_int(raw.get("query_index")),
+                    )
+                )
+
+
+class GuardedPolicy(AdaptationPolicy):
+    """Regret-bounded switching: accrue first, build once hedged."""
+
+    name = "guarded"
+
+    def __init__(self, config: EngineConfig) -> None:
+        super().__init__(config)
+        self.hedging_factor = config.hedging_factor
+
+    def _entry(self, candidate: CandidateLayout) -> LedgerEntry:
+        entry = self.ledger.get(candidate.attr_set)
+        if entry is None:
+            if len(self.ledger) >= MAX_LEDGER_ENTRIES:
+                coldest = min(
+                    self.ledger, key=lambda k: self.ledger[k].accrued
+                )
+                del self.ledger[coldest]
+            entry = LedgerEntry(attrs=tuple(candidate.attrs))
+            self.ledger[candidate.attr_set] = entry
+        return entry
+
+    def _gate_open(
+        self, entry: LedgerEntry, build_cost: float
+    ) -> bool:
+        return entry.accrued >= self.hedging_factor * build_cost
+
+    def observe(
+        self,
+        select_attrs: FrozenSet[str],
+        where_attrs: FrozenSet[str],
+        candidates: Iterable[CandidateLayout],
+        query_index: int,
+    ) -> bool:
+        ripe = False
+        for candidate in candidates:
+            if not candidate.serves(select_attrs, where_attrs):
+                continue
+            entry = self._entry(candidate)
+            entry.accrued += max(candidate.benefit_per_use, 0.0)
+            entry.projected_cost = candidate.build_cost
+            entry.observations += 1
+            entry.last_observed = query_index
+            # Ask for the fast-lane bypass only when the guard has
+            # actually deferred this candidate before (so greedy would
+            # already have built it and the shape's plan is cached) and
+            # the accrual now covers the hedged cost — the cold path
+            # must get one shot at triggering the build.
+            if entry.deferrals > 0 and self._gate_open(
+                entry, candidate.build_cost
+            ):
+                ripe = True
+        return ripe
+
+    def allow_materialization(
+        self, candidate: CandidateLayout, query_index: int
+    ) -> bool:
+        entry = self._entry(candidate)
+        if self._gate_open(entry, candidate.build_cost):
+            return True
+        entry.deferrals += 1
+        self.deferrals += 1
+        return False
+
+    def would_allow(self, candidate: CandidateLayout) -> bool:
+        entry = self.ledger.get(candidate.attr_set)
+        accrued = entry.accrued if entry is not None else 0.0
+        return accrued >= self.hedging_factor * candidate.build_cost
+
+
+def make_policy(config: EngineConfig) -> AdaptationPolicy:
+    """The policy instance for ``config.adaptation_policy``."""
+    if config.adaptation_policy == "guarded":
+        return GuardedPolicy(config)
+    return AdaptationPolicy(config)
+
+
+def _as_float(value: object, default: float = 0.0) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_int(value: object, default: int = 0) -> int:
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default

@@ -96,6 +96,7 @@ from ..sql.parser import parse_query
 from ..sql.query import Query
 from ..sql.signature import literal_extractor
 from ..storage.relation import LayoutSnapshot, Table
+from .adaptation_policy import AdaptationPolicy, make_policy
 from .advisor import CandidateLayout, LayoutAdvisor
 from .cost_model import CostModel, SelectivityEstimator
 from .history import ShiftDetector
@@ -141,6 +142,11 @@ class QueryReport:
     #: An online reorganization triggered by this query aborted; the
     #: candidate was quarantined and the query answered via planning.
     reorg_aborted: bool = False
+    #: The adaptation policy deferred an otherwise-eligible online
+    #: reorganization this query would have triggered (guarded policy:
+    #: the candidate's accrued benefit has not yet covered its hedged
+    #: build cost — see docs/adaptation.md).
+    reorg_deferred: bool = False
     #: Morsel-driven scan telemetry (zero/serial when the query ran as
     #: one monolithic scan): how many aligned morsels the table divides
     #: into, how many zone maps proved empty and skipped, how many scan
@@ -190,6 +196,8 @@ class _Prepared:
     stats: Optional[ExecStats] = None
     #: An online stitch triggered by this query aborted (quarantined).
     reorg_aborted: bool = False
+    #: The policy deferred an otherwise-eligible materialization.
+    reorg_deferred: bool = False
 
 
 class H2OEngine:
@@ -232,6 +240,10 @@ class H2OEngine:
         self.reorganizer = Reorganizer(self.config)
         self.executor = Executor(self.config)
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
+        #: The layout-switching policy (docs/adaptation.md): greedy
+        #: (paper-faithful, every gate open) or guarded (regret-bounded
+        #: benefit ledger).  Mutated only under the engine lock.
+        self.policy: AdaptationPolicy = make_policy(self.config)
         self.candidates: List[CandidateLayout] = []
         self.reports: List[QueryReport] = []
         #: Online reorganizations that aborted mid-stitch (the partial
@@ -424,6 +436,19 @@ class H2OEngine:
             self._adapt(index, phases)
             adaptation_ran = True
 
+        # Feed the switching policy's benefit ledger: every candidate
+        # that could have served this query accrues its Eq. 2 per-use
+        # delta.  ``ripe`` asks for a fast-lane bypass — a previously
+        # deferred candidate now clears its hedged threshold, and only
+        # the cold path below can trigger its materialization (the
+        # shape's cached plan would otherwise shortcut past it forever).
+        ripe = self.policy.observe(
+            query.select_attributes,
+            query.where_attributes,
+            self.candidates,
+            index,
+        )
+
         # Pin the physical state this query will plan and scan against.
         snapshot = self.table.snapshot()
         prep = _Prepared(
@@ -437,7 +462,7 @@ class H2OEngine:
         # 3. The steady-state fast lane: a repeat query shape under
         # unchanged layouts skips analysis, planning, costing and
         # codegen-key construction entirely.
-        if self.config.plan_cache:
+        if self.config.plan_cache and not ripe:
             prep.entry = self.plan_cache.lookup(
                 query.shape_signature(), snapshot.epoch
             )
@@ -451,7 +476,8 @@ class H2OEngine:
         # executes after the lock is released.
         info = analyze_query(query, self.table.schema)
         prep.info = info
-        candidate = self._triggered_candidate(info)
+        candidate, deferred = self._triggered_candidate(info, index)
+        prep.reorg_deferred = deferred
         if candidate is not None:
             try:
                 prep.result, prep.stats = self._materialize_and_execute(
@@ -523,6 +549,7 @@ class H2OEngine:
                 stats.extras.get("breaker_short_circuit")
             ),
             reorg_aborted=prep.reorg_aborted,
+            reorg_deferred=prep.reorg_deferred,
             morsels_total=int(stats.extras.get("morsels_total", 0)),
             morsels_pruned=int(stats.extras.get("morsels_pruned", 0)),
             scan_threads_used=int(
@@ -645,20 +672,25 @@ class H2OEngine:
         return served / len(window)
 
     def _triggered_candidate(
-        self, info: QueryInfo
-    ) -> Optional[CandidateLayout]:
+        self, info: QueryInfo, index: int
+    ) -> Tuple[Optional[CandidateLayout], bool]:
         """The best candidate this query both matches and amortizes.
 
         Only the inline adaptation mode fuses materialization with the
         triggering query; in background mode the scheduler builds
         candidates off the query path instead.
+
+        Returns ``(candidate, deferred)``: the winning candidate (or
+        None), and whether the switching policy refused an otherwise
+        eligible build (guarded policy, hedged threshold not yet met —
+        the refusal is recorded in the policy's debt ledger).
         """
         if self.config.materialization != "lazy":
-            return None
+            return None, False
         if self.config.adaptation_mode != "inline" and (
             self._adaptation_signal is not None
         ):
-            return None
+            return None, False
         select_attrs = frozenset(info.select_attrs)
         where_attrs = frozenset(info.where_attrs)
         best: Optional[CandidateLayout] = None
@@ -677,7 +709,16 @@ class H2OEngine:
                 continue
             if best is None or candidate.expected_gain > best.expected_gain:
                 best = candidate
-        return best
+        if best is not None and not self.policy.allow_materialization(
+            best, index
+        ):
+            # The paper's amortization test passed but the switching
+            # policy's hedged-benefit gate did not: the build is
+            # deferred, the deferral ledgered, and this query answered
+            # through ordinary planning.  The candidate stays in the
+            # pool accruing benefit until the gate opens.
+            return None, True
+        return best, False
 
     def _materialize_and_execute(
         self,
@@ -694,8 +735,11 @@ class H2OEngine:
         """
         outcome = self.reorganizer.online(self.table, candidate.attrs, info)
         # The stitch completed: clear any earlier-failure backoff state
-        # so a future re-proposal of the same group starts fresh.
+        # so a future re-proposal of the same group starts fresh.  The
+        # switch is ledgered now — the reorganization cost was paid
+        # even if a concurrent append discards the group below.
         self.quarantine.note_success(candidate.attr_set)
+        self.policy.note_materialized(candidate, index)
         registered = True
         try:
             self.manager.register_group(
@@ -1106,6 +1150,9 @@ class H2OEngine:
                 and c.frequency >= self.config.amortization_threshold
                 and self.table.find_group(c.attrs) is None
                 and not self.quarantine.blocked(c.attr_set)
+                # Side-effect-free policy preview: the scheduler polls
+                # every cycle and must not inflate deferral counters.
+                and self.policy.would_allow(c)
             ]
 
     def note_stitch_failure(self, candidate: CandidateLayout) -> None:
@@ -1137,6 +1184,12 @@ class H2OEngine:
             except LayoutError:
                 return False
             self.quarantine.note_success(group.attr_set)
+            for candidate in self.candidates:
+                if candidate.attr_set == group.attr_set:
+                    self.policy.note_materialized(
+                        candidate, self._query_counter
+                    )
+                    break
             self.candidates = [
                 c
                 for c in self.candidates
@@ -1184,6 +1237,10 @@ class H2OEngine:
                 "queries_seen": self.monitor.queries_seen,
                 "query_counter": self._query_counter,
                 "selectivities": self.selectivity.export(),
+                # The switching policy's debt ledger: recovery must not
+                # silently reset accrued benefit/deferral history, or a
+                # restarted guarded store would re-thrash from scratch.
+                "policy": self.policy.export(),
                 # Oldest-shape-last iteration above; reverse so warmup
                 # replays in roughly original execution order.
                 "warmup_sql": list(reversed(list(warmup.values()))),
@@ -1256,8 +1313,40 @@ class H2OEngine:
                 self.candidates = []
                 self._last_adaptation_snapshot = None
                 self._shift_since_adaptation = False
+                # Restore the switching policy's ledger *after* warmup:
+                # warmup executions must not pollute the persisted
+                # accrual/deferral history (any switch the warmup itself
+                # performed re-built a layout that already existed in
+                # the recovered table, so it is not re-ledgered either).
+                policy_state = state.get("policy")
+                if isinstance(policy_state, dict):
+                    self.policy.restore(policy_state)
 
     # Reporting -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """One-call telemetry summary (thread-safe, JSON-serializable).
+
+        ``policy`` is the switching policy's bounded snapshot: the debt
+        ledger's hottest entries, switch/deferral totals, and invested
+        reorganization cost — the observability surface the guarded
+        policy's thrash resistance is judged by (docs/adaptation.md).
+        """
+        with self.lock:
+            return {
+                "table": self.table.name,
+                "queries": self._query_counter,
+                "policy": self.policy.snapshot(),
+                "layouts_created": len(self.manager.creation_log),
+                "layout_creation_seconds": (
+                    self.manager.creation_seconds()
+                ),
+                "reorg_aborts": self.reorg_aborts,
+                "deadline_aborts": self.deadline_aborts,
+                "candidates_pending": len(self.candidates),
+                "window_size": self.window.size,
+                "plan_cache": self.plan_cache.stats(),
+            }
 
     def cumulative_seconds(self) -> float:
         with self.lock:
@@ -1286,6 +1375,13 @@ class H2OEngine:
                 f"  candidates pending: {len(self.candidates)} "
                 f"(reorg aborts: {self.reorg_aborts}, "
                 f"quarantined: {len(self.quarantine.blocked_keys())})",
+                "  policy: {} switches={} deferrals={} "
+                "invested={:.4f}s-cost".format(
+                    self.policy.name,
+                    self.policy.switch_count,
+                    self.policy.deferrals,
+                    self.policy.invested_cost,
+                ),
                 "  codegen breaker: open={} short_circuits={} "
                 "fallbacks={}".format(
                     len(self.breaker.open_keys()),

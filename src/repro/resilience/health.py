@@ -54,11 +54,22 @@ class HealthReport:
     quarantines: Mapping[str, Mapping[str, object]] = field(
         default_factory=dict
     )
+    #: Per-table switching-policy telemetry (debt ledger, switches,
+    #: deferrals — see AdaptationPolicy.snapshot() and
+    #: docs/adaptation.md).
+    policies: Mapping[str, Mapping[str, object]] = field(
+        default_factory=dict
+    )
     #: Engine-side degradation counters, summed over tables.
     codegen_fallbacks: int = 0
     breaker_short_circuits: int = 0
     reorg_aborts: int = 0
     deadline_aborts: int = 0
+    #: Materializations the switching policy deferred (hedged-benefit
+    #: gate not yet met), summed over tables.
+    reorgs_deferred: int = 0
+    #: Layout switches the policy granted, summed over tables.
+    layout_switches: int = 0
     #: Sharding tier (zero when the system runs single-process).  The
     #: per-shard engine telemetry is merged into the maps above under
     #: ``"{table}@shard{i}"`` keys, worst-rung-wins into ``status``.
@@ -105,6 +116,8 @@ class HealthReport:
             "breaker_short_circuits": self.breaker_short_circuits,
             "reorg_aborts": self.reorg_aborts,
             "deadline_aborts": self.deadline_aborts,
+            "reorgs_deferred": self.reorgs_deferred,
+            "layout_switches": self.layout_switches,
             "shards_alive": self.shards_alive,
             "shards_expected": self.shards_expected,
             "shard_respawns": self.shard_respawns,
@@ -129,6 +142,8 @@ class HealthReport:
             f"breaker_short_circuits={self.breaker_short_circuits} "
             f"reorg_aborts={self.reorg_aborts} "
             f"deadline_aborts={self.deadline_aborts}",
+            f"  policy: switches={self.layout_switches} "
+            f"deferred={self.reorgs_deferred}",
         ]
         if self.shards_expected:
             lines.append(

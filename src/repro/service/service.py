@@ -773,6 +773,11 @@ class H2OService:
         quarantines = {
             e.table.name: e.quarantine.snapshot() for e in engines
         }
+        policies = {
+            e.table.name: e.policy.snapshot() for e in engines
+        }
+        reorgs_deferred = sum(e.policy.deferrals for e in engines)
+        layout_switches = sum(e.policy.switch_count for e in engines)
         codegen_fallbacks = sum(
             e.executor.codegen_fallbacks for e in engines
         )
@@ -800,6 +805,15 @@ class H2OService:
                     key = f"{table}@shard{sid}"
                     breaker_states[key] = tele["breaker"]
                     quarantines[key] = tele["quarantine"]
+                    shard_policy = tele.get("policy")
+                    if shard_policy is not None:
+                        policies[key] = shard_policy
+                        reorgs_deferred += int(
+                            shard_policy.get("deferrals", 0)
+                        )
+                        layout_switches += int(
+                            shard_policy.get("switches", 0)
+                        )
                     codegen_fallbacks += int(tele["codegen_fallbacks"])
                     breaker_short_circuits += int(
                         tele["breaker_short_circuits"]
@@ -853,10 +867,13 @@ class H2OService:
             stitch_failures=stitch_failures,
             breaker_states=breaker_states,
             quarantines=quarantines,
+            policies=policies,
             codegen_fallbacks=codegen_fallbacks,
             breaker_short_circuits=breaker_short_circuits,
             reorg_aborts=reorg_aborts,
             deadline_aborts=deadline_aborts,
+            reorgs_deferred=reorgs_deferred,
+            layout_switches=layout_switches,
             shards_alive=shards_alive,
             shards_expected=shards_expected,
             shard_respawns=shard_respawns,

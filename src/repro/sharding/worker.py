@@ -152,6 +152,7 @@ class _ShardServer:
                 "breaker_short_circuits": engine.breaker.short_circuits,
                 "reorg_aborts": engine.reorg_aborts,
                 "deadline_aborts": engine.deadline_aborts,
+                "policy": engine.policy.snapshot(),
                 "epoch": engine.table.layout_epoch,
             }
         return {"ok": True, "shard": self.shard_index, "tables": tables}

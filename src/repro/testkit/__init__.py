@@ -26,8 +26,15 @@ package is the standing correctness gate for that property:
   wrong answer or a torn snapshot;
 - :mod:`~repro.testkit.shrink` — shrinking of failing cases to a
   minimal schema + query repro (printed in ≤10 lines with the seed);
+- the **scenario replay oracle** (also in
+  :mod:`~repro.testkit.oracle`) — the adversarial scenario pack of
+  :mod:`repro.workloads.scenarios` replayed under both layout-switching
+  policies (greedy-paper and regret-bounded guarded) against the row
+  reference: bit-identical answers, engine invariants after every
+  query, and the guarded policy's regret ledger balanced at the end;
 - :mod:`~repro.testkit.runner` — the CLI:
-  ``python -m repro.testkit run --seqs 50 --seed 0``.
+  ``python -m repro.testkit run --seqs 50 --seed 0`` /
+  ``python -m repro.testkit scenarios``.
 
 See ``docs/testing.md`` for the architecture, how to reproduce a
 failure from a printed seed, and how to add a new injection point.
@@ -38,9 +45,12 @@ from .faults import FaultInjector, FiredFault, random_schedule
 from .oracle import (
     DifferentialOracle,
     OracleFailure,
+    ScenarioOutcome,
     SequenceResult,
+    run_all_scenarios,
     run_chaos_sequence,
     run_sequence,
+    scenario_case,
 )
 from .shrink import format_repro, shrink_case
 
@@ -50,12 +60,15 @@ __all__ = [
     "FaultInjector",
     "FiredFault",
     "OracleFailure",
+    "ScenarioOutcome",
     "SequenceResult",
     "format_repro",
     "random_case",
     "random_query",
     "random_schedule",
+    "run_all_scenarios",
     "run_chaos_sequence",
     "run_sequence",
+    "scenario_case",
     "shrink_case",
 ]

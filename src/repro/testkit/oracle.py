@@ -1,7 +1,7 @@
 """The differential oracle: adaptation must be invisible in answers.
 
 One generated :class:`~repro.testkit.generate.CaseSpec` is executed
-through eight independent paths, each over its *own* copy of the same
+through nine independent paths, each over its *own* copy of the same
 deterministic data:
 
 1. **row reference** — the static row-store baseline, interpreted
@@ -29,7 +29,21 @@ deterministic data:
    shared-memory slice), answers gathered via the per-morsel combine
    contract in shard-index order — partitioning must be invisible in
    answers, and each shard's published layout epoch must stay
-   monotone.
+   monotone;
+9. **adaptive guarded** — the full engine under the regret-bounded
+   switching policy (``adaptation_policy="guarded"``, see
+   docs/adaptation.md): materializations may be *deferred* but answers
+   must stay bit-identical, and the policy's regret invariant
+   (hedged reorganization spend never exceeds accrued benefit at
+   switch) must hold at the end of the sequence.
+
+The module also hosts the **scenario-replay oracle**
+(:func:`scenario_case` / :func:`run_all_scenarios`, exposed as
+``python -m repro.testkit scenarios``): every adversarial scenario in
+:mod:`repro.workloads.scenarios` — queries *and* appends — is replayed
+under both switching policies against the row reference, asserting
+bit-identical answers, the physical invariants after every query, and
+the guarded policy's regret invariant.
 
 Every mode must produce **bit-identical** :class:`~repro.execution.
 result.QueryResult` data (the generator bounds values so all float64
@@ -65,6 +79,7 @@ from ..config import EngineConfig
 from ..core.engine import H2OEngine
 from ..execution.result import QueryResult
 from ..service.service import H2OService
+from ..sql.parser import parse_query
 from ..util.rng import derive_rng
 from .faults import FaultInjector, random_schedule
 from .generate import CaseSpec
@@ -87,6 +102,7 @@ CLEAN_MODES = (
     "adaptive-background",
     "adaptive-parallel",
     "adaptive-sharded",
+    "adaptive-guarded",
 )
 
 
@@ -182,6 +198,42 @@ def check_engine_invariants(
     return snapshot.epoch
 
 
+def check_policy_invariants(engine: H2OEngine, label: str) -> None:
+    """The switching policy's own bookkeeping must be sound.
+
+    - the **regret invariant**: ``hedging_factor * invested_cost <=
+      accrued_at_switch`` (every granted switch had already accrued its
+      hedged build cost);
+    - every switch record individually carries enough accrued benefit
+      for its hedged cost;
+    - in a serial replay, the ledgered switch count equals the layouts
+      the manager actually built (no unledgered reorganization).
+    """
+    policy = engine.policy
+    if not policy.regret_bound_satisfied():
+        raise OracleFailure(
+            f"[{label}] regret invariant violated: "
+            f"{policy.hedging_factor} * {policy.invested_cost} > "
+            f"{policy.accrued_at_switch}"
+        )
+    for record in policy.switches:
+        if record.accrued + 1e-9 < (
+            record.hedging_factor * record.build_cost
+        ):
+            raise OracleFailure(
+                f"[{label}] switch to {record.attrs} granted with "
+                f"accrued {record.accrued} < hedged cost "
+                f"{record.hedging_factor} * {record.build_cost}"
+            )
+    built = len(engine.manager.creation_log)
+    if policy.switch_count != built:
+        raise OracleFailure(
+            f"[{label}] policy ledgered {policy.switch_count} "
+            f"switch(es) but the layout manager built {built} — "
+            f"an unledgered reorganization"
+        )
+
+
 # The oracle -----------------------------------------------------------------
 
 
@@ -236,6 +288,7 @@ class DifferentialOracle:
         self._run_service(spec, expected)
         self._run_adaptive_parallel(spec, expected)
         self._run_sharded(spec, expected)
+        self._run_adaptive_guarded(spec, expected)
         outcome.queries_checked = len(expected) * (len(CLEAN_MODES) + 1)
         if self.with_faults:
             fired_inline = self._run_faulted_inline(spec, expected)
@@ -413,6 +466,42 @@ class DifferentialOracle:
                 last_epochs = epochs
         finally:
             system.close()
+
+    def _run_adaptive_guarded(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> None:
+        """The ninth path: the regret-bounded switching policy.
+
+        Same adaptive knobs as ``adaptive-inline`` but with
+        ``adaptation_policy="guarded"`` — materializations the greedy
+        engine performs immediately may be deferred or skipped here,
+        which must be invisible in answers.  Beyond bit-identity and
+        the physical invariants, the oracle asserts the policy's own
+        regret invariant and that its deferral/switch ledger is
+        consistent with the layouts actually built.
+        """
+        mode = "adaptive-guarded"
+        engine = H2OEngine(
+            spec.build_table(),
+            self._adaptive_config(
+                adaptation_policy="guarded", hedging_factor=2.0
+            ),
+        )
+        epoch = 0
+        for index, query in enumerate(spec.parsed()):
+            report = engine.execute(query)
+            if not results_identical(report.result, expected[index]):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index,
+                        spec.queries[index],
+                        report.result,
+                        expected[index],
+                        mode,
+                    )
+                )
+            epoch = check_engine_invariants(engine, epoch, mode)
+        check_policy_invariants(engine, mode)
 
     def _run_service(
         self, spec: CaseSpec, expected: Sequence[QueryResult]
@@ -717,3 +806,148 @@ def run_chaos_sequence(
     return oracle.chaos_case(
         spec if spec is not None else random_case(seed)
     )
+
+
+# Scenario replay oracle ------------------------------------------------------
+#
+# The adversarial scenario pack (repro/workloads/scenarios.py) replayed
+# under BOTH switching policies against the row reference: the policies
+# may reorganize differently, but every answer must stay bit-identical,
+# every engine invariant must hold after every query, and the guarded
+# policy's regret ledger must balance at the end of the stream.
+
+#: Every scenario replays under each of these policies.
+SCENARIO_POLICIES = ("greedy-paper", "guarded")
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario replay executed and observed."""
+
+    name: str
+    seed: int
+    queries_checked: int = 0
+    appends_replayed: int = 0
+    #: policy → layouts the manager built during the replay.
+    reorgs: Dict[str, int] = field(default_factory=dict)
+    #: policy → materializations the policy deferred.
+    deferrals: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        reorgs = " ".join(
+            f"{policy}={count}" for policy, count in self.reorgs.items()
+        )
+        return (
+            f"{self.name} (seed {self.seed}) — {self.queries_checked} "
+            f"answers checked, {self.appends_replayed} appends, "
+            f"reorgs: {reorgs}, {self.seconds:.2f}s"
+        )
+
+
+def _scenario_reference(scenario: "Scenario") -> List[QueryResult]:
+    """Ground truth for a scenario stream: the interpreted row baseline,
+    with the scenario's appends applied at the same stream positions."""
+    engine = RowStoreEngine(
+        scenario.make_table(), EngineConfig(use_codegen=False)
+    )
+    expected: List[QueryResult] = []
+    for op in scenario.ops:
+        if op[0] == "query":
+            expected.append(engine.execute(parse_query(op[1])).result)
+        else:
+            engine.table.append_rows(
+                scenario.append_batch(op[1], op[2])
+            )
+    return expected
+
+
+def _replay_scenario(
+    scenario: "Scenario",
+    expected: Sequence[QueryResult],
+    policy: str,
+    hedging_factor: float,
+) -> H2OEngine:
+    """Replay one scenario under one policy, checking every answer."""
+    label = f"scenario:{scenario.name}:{policy}"
+    engine = H2OEngine(
+        scenario.make_table(),
+        EngineConfig(
+            adaptation_policy=policy,
+            hedging_factor=hedging_factor,
+            **ORACLE_CONFIG,
+        ),
+    )
+    epoch = 0
+    index = 0
+    for op in scenario.ops:
+        if op[0] == "query":
+            report = engine.execute(parse_query(op[1]))
+            if not results_identical(report.result, expected[index]):
+                raise OracleFailure(
+                    _describe_divergence(
+                        index, op[1], report.result, expected[index], label
+                    )
+                )
+            epoch = check_engine_invariants(engine, epoch, label)
+            index += 1
+        else:
+            engine.table.append_rows(
+                scenario.append_batch(op[1], op[2])
+            )
+    check_policy_invariants(engine, label)
+    return engine
+
+
+def scenario_case(
+    name: str,
+    seed: int = 0,
+    *,
+    hedging_factor: float = 2.0,
+    **kwargs: object,
+) -> ScenarioOutcome:
+    """Replay one named scenario under both policies against the row
+    reference; raises :class:`OracleFailure` on any divergence."""
+    from ..workloads.scenarios import build_scenario
+
+    started = time.perf_counter()
+    scenario = build_scenario(name, seed, **kwargs)
+    expected = _scenario_reference(scenario)
+    outcome = ScenarioOutcome(name=scenario.name, seed=seed)
+    for policy in SCENARIO_POLICIES:
+        engine = _replay_scenario(
+            scenario, expected, policy, hedging_factor
+        )
+        outcome.reorgs[policy] = len(engine.manager.creation_log)
+        outcome.deferrals[policy] = engine.policy.deferrals
+    guarded = outcome.reorgs.get("guarded", 0)
+    greedy = outcome.reorgs.get("greedy-paper", 0)
+    if guarded > greedy:
+        raise OracleFailure(
+            f"[scenario:{scenario.name}] guarded built {guarded} "
+            f"layout(s), more than greedy's {greedy} — hedging must "
+            f"never reorganize more than the policy it hedges"
+        )
+    outcome.queries_checked = len(expected) * len(SCENARIO_POLICIES)
+    outcome.appends_replayed = (
+        scenario.append_count * len(SCENARIO_POLICIES)
+    )
+    outcome.seconds = time.perf_counter() - started
+    return outcome
+
+
+def run_all_scenarios(
+    seed: int = 0,
+    *,
+    hedging_factor: float = 2.0,
+    **kwargs: object,
+) -> List[ScenarioOutcome]:
+    """Replay the whole registered pack (canonical order)."""
+    from ..workloads.scenarios import SCENARIOS
+
+    return [
+        scenario_case(
+            name, seed, hedging_factor=hedging_factor, **kwargs
+        )
+        for name in SCENARIOS
+    ]

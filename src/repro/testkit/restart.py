@@ -175,6 +175,7 @@ def _engine_fingerprint(store: DurableStore, table: str) -> Dict[str, object]:
         "select_affinity": engine.monitor.select_affinity.matrix.copy(),
         "where_affinity": engine.monitor.where_affinity.matrix.copy(),
         "warmup_sql": list(engine.adaptation_state()["warmup_sql"]),
+        "policy": engine.policy.export(),
     }
 
 
@@ -274,6 +275,12 @@ def _run_scenario(
         for key in ("select_affinity", "where_affinity"):
             if not np.array_equal(post[key], fingerprint[key]):
                 raise fail(f"{key} matrix diverged across recovery")
+        if post["policy"] != fingerprint["policy"]:
+            raise fail(
+                "switching-policy ledger diverged across recovery: "
+                f"checkpoint had {fingerprint['policy']}, recovery has "
+                f"{post['policy']}"
+            )
         missing = set(fingerprint["layouts"]) - set(post["layouts"])
         if missing:
             raise fail(

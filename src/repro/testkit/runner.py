@@ -22,6 +22,17 @@ answers, a healed worker pool and an exact degradation-evidence audit
 also reports cumulative fault-point coverage and fails if any point
 never fired across the run.
 
+Scenario replay::
+
+    PYTHONPATH=src python -m repro.testkit scenarios
+
+replays the adversarial scenario pack (repro/workloads/scenarios.py)
+under both switching policies (greedy-paper and guarded) against the
+row reference: every answer bit-identical, every engine invariant held,
+the guarded regret ledger balanced, and guarded never reorganizing more
+than greedy.  Name scenarios to replay a subset; ``--seed`` reseeds the
+pack.
+
 Reproducing a printed case::
 
     PYTHONPATH=src python -m repro.testkit repro --seed S --attrs A \
@@ -164,6 +175,36 @@ def _cmd_restart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from ..workloads.scenarios import SCENARIOS
+    from .oracle import scenario_case
+
+    names = args.names or list(SCENARIOS)
+    started = time.perf_counter()
+    answers = 0
+    for name in names:
+        try:
+            outcome = scenario_case(
+                name, args.seed, hedging_factor=args.hedging_factor
+            )
+        except OracleFailure as failure:
+            print(
+                f"SCENARIO FAIL {name} (seed {args.seed}):",
+                file=sys.stderr,
+            )
+            print(f"  {failure}", file=sys.stderr)
+            return 1
+        answers += outcome.queries_checked
+        if args.verbose:
+            print(f"ok   {outcome.describe()}")
+    elapsed = time.perf_counter() - started
+    print(
+        f"scenarios: {len(names)} scenario(s) x both policies, {answers} "
+        f"answers bit-identical, regret ledger balanced ({elapsed:.1f}s)"
+    )
+    return 0
+
+
 def _cmd_repro(args: argparse.Namespace) -> int:
     spec = CaseSpec(
         seed=args.seed,
@@ -235,6 +276,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     restart.add_argument("--seed", type=int, default=0)
     restart.add_argument("-v", "--verbose", action="store_true")
     restart.set_defaults(func=_cmd_restart)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="replay the adversarial scenario pack under both policies",
+    )
+    scenarios.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names to replay (default: the whole pack)",
+    )
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument(
+        "--hedging-factor",
+        type=float,
+        default=2.0,
+        help="hedging factor for the guarded replay (default 2.0)",
+    )
+    scenarios.add_argument("-v", "--verbose", action="store_true")
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     repro = sub.add_parser("repro", help="re-run one explicit case spec")
     repro.add_argument("--seed", type=int, required=True)

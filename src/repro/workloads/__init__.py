@@ -8,7 +8,11 @@
   Fig. 9;
 - :mod:`~repro.workloads.skyserver` — a synthetic surrogate of the SDSS
   SkyServer "PhotoObjAll" workload used by Fig. 8 (see DESIGN.md for
-  the substitution rationale).
+  the substitution rationale);
+- :mod:`~repro.workloads.scenarios` — the adversarial scenario pack
+  (periodic shift, ping-pong, flash crowd, mixed OLAP/point, trickle
+  append) replayed by the oracle, the stress suite and
+  benchmarks/bench_scenarios.py (see docs/adaptation.md).
 """
 
 from .workload import Workload, TableSpec
@@ -20,6 +24,7 @@ from .microbench import (
     selectivity_sweep,
     threshold_for_selectivity,
 )
+from .scenarios import SCENARIOS, Scenario, build_scenario
 from .sequences import fig7_sequence, fig9_sequence
 from .skyserver import skyserver_workload
 from .neuroscience import neuro_schema, neuroscience_workload
@@ -33,6 +38,9 @@ __all__ = [
     "projectivity_sweep",
     "selectivity_sweep",
     "threshold_for_selectivity",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
     "fig7_sequence",
     "fig9_sequence",
     "skyserver_workload",

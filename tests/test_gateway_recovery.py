@@ -99,6 +99,72 @@ def test_learned_state_survives_recovery(tmp_path):
         recovered.close(checkpoint=False)
 
 
+def test_guarded_policy_ledger_survives_recovery(tmp_path):
+    """The switching policy's debt ledger is learned state too: a
+    guarded store that accrued (and deferred) toward a candidate must
+    not restart its accrual from zero after a crash."""
+    config = EngineConfig(
+        window_size=6,
+        min_window=3,
+        max_window=18,
+        amortization_threshold=1.0,
+        adaptation_policy="guarded",
+        hedging_factor=1e9,  # high enough that the ramp only defers
+    )
+    gateway_config = GatewayConfig(snapshot_every_records=0)
+
+    def open_store():
+        return DurableStore(
+            tmp_path / "d",
+            engine_config=config,
+            gateway_config=gateway_config,
+            num_workers=1,
+        )
+
+    rng = np.random.default_rng(7)
+    store = open_store()
+    store.create_table(
+        "t",
+        [("a", "int64"), ("b", "int64"), ("c", "int64"), ("d", "int64")],
+        {
+            name: rng.integers(-500, 500, size=2000, dtype=np.int64)
+            for name in "abcd"
+        },
+    )
+    for i in range(40):
+        store.execute(f"SELECT a, b FROM t WHERE a > {i * 7 % 300}")
+    engine = store.system.engine_for("t")
+    exported = engine.policy.export()
+    assert engine.policy.name == "guarded"
+    assert engine.policy.deferrals > 0  # the guard actually refused
+    assert exported["entries"]  # and accrued toward the candidate
+
+    store.checkpoint()
+    store.abandon()  # SIGKILL-equivalent
+
+    recovered = open_store()
+    try:
+        engine = recovered.system.engine_for("t")
+        assert engine.policy.export() == exported
+        # The restored ledger keeps accruing (not a frozen snapshot):
+        # once the next adaptation run re-proposes the hot candidate,
+        # more of the same shape strictly grows its entry.  (Recovery
+        # clears the candidate pool, so run past an adaptation window.)
+        before = max(
+            e.accrued for e in engine.policy.ledger.values()
+        )
+        for i in range(40):
+            recovered.execute(
+                f"SELECT a, b FROM t WHERE a > {i * 11 % 300}"
+            )
+        after = max(
+            e.accrued for e in engine.policy.ledger.values()
+        )
+        assert after > before
+    finally:
+        recovered.close(checkpoint=False)
+
+
 def test_recovery_without_adaptation_seeding(tmp_path):
     """seed_adaptation=False still recovers rows (state is optional)."""
     store = DurableStore(tmp_path / "d", num_workers=1)

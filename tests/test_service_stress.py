@@ -27,9 +27,15 @@ import pytest
 
 from tests.conftest import wait_until
 from repro import H2OService, generate_table
+from repro.baselines.row_engine import RowStoreEngine
 from repro.config import EngineConfig
 from repro.core.system import H2OSystem
 from repro.errors import ServiceOverloadedError
+from repro.sql.parser import parse_query
+from repro.testkit.faults import FaultInjector, random_schedule
+from repro.testkit.oracle import results_identical
+from repro.util.rng import derive_rng
+from repro.workloads.scenarios import build_scenario
 
 pytestmark = pytest.mark.stress
 
@@ -254,6 +260,103 @@ def test_overload_rejects_gracefully_from_many_threads():
         assert service.admission.in_flight == 0
     finally:
         service.close()
+
+
+# ---------------------------------------------------------------------------
+# Adversarial scenario through the service, under chaos faults
+# ---------------------------------------------------------------------------
+
+
+def _run_ping_pong_service(scenario, expected, policy_config, tag):
+    """Replay the scenario serially through a faulted service; return
+    the engine after asserting every answer is bit-identical."""
+    service = H2OService(
+        config=policy_config,
+        num_workers=3,
+        max_pending=4 * len(scenario.queries),
+        max_query_attempts=8,
+        name=f"scenario-stress-{tag}",
+    )
+    schedule = random_schedule(
+        derive_rng(scenario.seed, "scenario-stress", tag),
+        horizon=len(scenario.queries),
+        faults_per_point=2,
+        points=(
+            "codegen.compile",
+            "reorg.offline",
+            "service.worker",
+            "service.execute",
+        ),
+    )
+    try:
+        with FaultInjector(schedule):
+            service.register(scenario.make_table())
+            engine = service.system.engine_for(scenario.table_name)
+            for index, sql in enumerate(scenario.queries):
+                report = service.execute(sql, timeout=120.0)
+                assert results_identical(report.result, expected[index]), (
+                    f"[{tag}] query #{index} diverged under faults: {sql}"
+                )
+            assert engine.policy.regret_bound_satisfied()
+            return engine
+    finally:
+        service.close()
+
+
+def test_ping_pong_scenario_guarded_bounds_reorgs_under_chaos():
+    """The ping-pong adversary through the full service with chaos
+    faults firing: answers stay bit-identical under *both* policies,
+    and the guarded ledger bounds reorganization spend (an unhedged
+    candidate is never built) while greedy pays for the thrash."""
+    scenario = build_scenario(
+        "ping-pong", seed=0, phases=4, phase_len=12, num_rows=2048
+    )
+    reference = RowStoreEngine(
+        scenario.make_table(), EngineConfig(use_codegen=False)
+    )
+    expected = [
+        reference.execute(parse_query(sql)).result
+        for sql in scenario.queries
+    ]
+    knobs = dict(
+        window_size=4,
+        min_window=2,
+        max_window=12,
+        amortization_threshold=1.0,
+        adaptation_mode="background",
+    )
+
+    greedy_engine = _run_ping_pong_service(
+        scenario, expected, EngineConfig(**knobs), "greedy"
+    )
+    # Greedy's background scheduler chases every rotating hot trio;
+    # publication is asynchronous, so wait (bounded) for at least one.
+    wait_until(
+        lambda: len(greedy_engine.manager.creation_log) >= 1,
+        timeout=30.0,
+        message="greedy background layout publication",
+    )
+
+    guarded_engine = _run_ping_pong_service(
+        scenario,
+        expected,
+        EngineConfig(
+            adaptation_policy="guarded", hedging_factor=1e9, **knobs
+        ),
+        "guarded",
+    )
+    greedy_reorgs = len(greedy_engine.manager.creation_log)
+    guarded_reorgs = len(guarded_engine.manager.creation_log)
+    assert guarded_reorgs == 0, (
+        f"guarded built {guarded_reorgs} layout(s) despite an unmet "
+        f"hedge — the policy gate leaked through the service path"
+    )
+    assert greedy_reorgs >= 1
+    # The guard actually considered (and refused) candidates: the
+    # ledger accrued benefit toward the rotating trios.
+    assert guarded_engine.policy.ledger, (
+        "guarded service run never ledgered a candidate"
+    )
 
 
 # ---------------------------------------------------------------------------
