@@ -39,6 +39,7 @@ from repro.core.engine import H2OEngine
 from repro.core.system import build_system
 from repro.execution.parallel import ScanPool
 from repro.storage import Schema, Table
+from repro.storage.generator import shuffle_columns
 
 THREAD_COUNTS = (1, 2, 4)
 SHARD_COUNTS = (1, 2, 4)
@@ -156,15 +157,62 @@ def _measure_shards(table: Table) -> list:
     return sweep
 
 
+def _make_shuffled_table() -> Table:
+    """The probe table with its rows physically shuffled.
+
+    Same bytes as :func:`_make_table` rows, but one seeded permutation
+    destroys a1's arrival-order clustering — the worst case for zone
+    maps, which adaptive clustering must repair hands-free.
+    """
+    rng = np.random.default_rng(41)
+    columns = {"a1": np.arange(NUM_ROWS, dtype=np.int64)}
+    for i in range(2, 7):
+        columns[f"a{i}"] = rng.integers(
+            -(10**9), 10**9, size=NUM_ROWS, dtype=np.int64
+        )
+    columns = shuffle_columns(columns, rng)
+    schema = Schema.from_names(tuple(columns))
+    return Table.from_columns("r", schema, columns, "column")
+
+
 def _measure_pruning(table: Table) -> dict:
-    # < 5% qualifying: a1 < NUM_ROWS // 25 on the clustered column.
+    # < 5% qualifying: a1 < NUM_ROWS // 25.  The probe starts from
+    # *shuffled* rows (zone maps on arrival order prune nothing) and
+    # lets the adaptive engine cluster on a1 mid-stream; the timed runs
+    # then measure pruning over the repaired order.
     threshold = NUM_ROWS // 25
     sql = SELECTIVE_SQL.format(t=threshold)
+    adapt_knobs = dict(
+        window_size=4,
+        min_window=2,
+        max_window=12,
+        dynamic_window=True,
+        amortization_threshold=0.1,
+        adaptive_clustering=True,
+        cluster_rows_min=1024,
+    )
     runs = {}
+    before = None
+    queries_to_cluster = 0
     for label, zone_maps in (("pruned", True), ("unpruned", False)):
-        engine = H2OEngine(table, _config(zone_maps=zone_maps))
+        engine = H2OEngine(
+            _make_shuffled_table(), _config(zone_maps=zone_maps, **adapt_knobs)
+        )
         engine.executor.scan_pool = ScanPool(max_threads=4)
-        engine.execute(sql)
+        first = engine.execute(sql)
+        if label == "pruned":
+            before = {
+                "morsels_total": first.morsels_total,
+                "morsels_pruned": first.morsels_pruned,
+                "pruned_fraction": (
+                    first.morsels_pruned / max(1, first.morsels_total)
+                ),
+            }
+            for _ in range(30):
+                if engine.table.cluster_key == "a1":
+                    break
+                queries_to_cluster += 1
+                engine.execute(sql)
         best = float("inf")
         report = None
         for _ in range(REPEATS):
@@ -177,11 +225,16 @@ def _measure_pruning(table: Table) -> dict:
             "morsels_pruned": report.morsels_pruned,
             "answer": list(report.result.scalars()),
         }
+        if label == "pruned":
+            runs[label]["cluster_key"] = engine.table.cluster_key
+            runs[label]["clustered_fraction"] = engine.table.clustered_fraction
     pruned = runs["pruned"]
     total = max(1, pruned["morsels_total"])
     return {
         "sql": sql,
         "qualifying_fraction": threshold / NUM_ROWS,
+        "before_clustering": before,
+        "queries_to_cluster": queries_to_cluster,
         "pruned": pruned,
         "unpruned": runs["unpruned"],
         "pruned_fraction": pruned["morsels_pruned"] / total,
@@ -268,6 +321,13 @@ def test_parallel_scan_scales_and_prunes():
         )
     pruning = data["pruning"]
     assert pruning["answers_identical"], "pruning changed the answer"
+    assert pruning["before_clustering"]["pruned_fraction"] <= 0.1, (
+        "shuffled rows should start nearly unprunable, got "
+        f"{pruning['before_clustering']['pruned_fraction']:.0%}"
+    )
+    assert pruning["pruned"]["cluster_key"] == "a1", (
+        "adaptive clustering never fired on the probe column"
+    )
     assert pruning["pruned_fraction"] >= 0.8, (
         f"selective query only skipped {pruning['pruned_fraction']:.0%} "
         "of morsels"

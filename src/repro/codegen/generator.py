@@ -20,7 +20,7 @@ from ..execution.result import QueryResult
 from ..execution.strategies import AccessPlan, ExecutionStrategy
 from ..execution.volcano import projection_dtype
 from ..sql.analyzer import QueryInfo
-from ..storage.layout import Layout
+from ..storage.layout import Layout, flatten_kernel_buffers
 from .cache import CacheEntry, OperatorCache
 from .compile import compile_kernel
 from .exprc import ParamRegistry, masked_sql
@@ -45,9 +45,23 @@ def collect_literals(info: QueryInfo) -> List[object]:
 
 
 def _layout_signature(layouts: Sequence[Layout]) -> Tuple:
-    """Hashable identity of a layout combination, order-sensitive."""
+    """Hashable identity of a layout combination, order-sensitive.
+
+    Kind and codec identity ride along: an encoded replica generates
+    different source than the plain column over the same attribute (and
+    a bit-packed column burns its offset/max_code into the source), so
+    they must never share a cache entry.  ``encoding_signature`` covers
+    exactly what the source depends on; runtime buffers (a dictionary's
+    contents) stay out of the key.
+    """
     return tuple(
-        (layout.attrs, layout.data.dtype.name, layout.data.ndim)
+        (
+            layout.kind.value,
+            layout.attrs,
+            layout.data.dtype.name,
+            layout.data.ndim,
+            getattr(layout, "encoding_signature", lambda: None)(),
+        )
         for layout in layouts
     )
 
@@ -97,7 +111,7 @@ class GeneratedOperator:
         (the shared ``cnt`` accumulator), which feeds the selectivity
         estimator even though the result itself is a single row.
         """
-        buffers = tuple(layout.data for layout in layouts)
+        buffers = flatten_kernel_buffers(layouts)
         payload = self.kernel(buffers, self.params)
         names = [out.name for out in self.info.query.select]
         if self.info.is_aggregation:

@@ -34,7 +34,7 @@ from ..sql.expressions import (
     Expr,
     Literal,
 )
-from ..storage.layout import Layout
+from ..storage.layout import Layout, LayoutKind
 from ..execution.strategies import AccessPlan, ExecutionStrategy
 from ..execution.evaluator import collect_aggregates
 from .exprc import Binding, ExprCompiler, ParamRegistry
@@ -56,18 +56,45 @@ KERNEL_DEF = f"def {KERNEL_NAME}(bufs, params, lo=0, hi=None, partial=False):"
 
 @dataclass(frozen=True)
 class _Provider:
-    """Where one attribute lives: which buffer, at which position."""
+    """Where one attribute lives: which buffer, at which position.
+
+    ``buffer_index`` is the attribute's *flat* index into the kernel's
+    ``bufs`` tuple — each layout contributes ``kernel_buffers()`` in
+    order, so a plan of only plain layouts keeps buffer_index == layout
+    index, while a dictionary layout occupies two slots (codes at
+    ``buffer_index``, dictionary at ``dict_index``).
+
+    ``dtype`` is always the *decoded* value dtype.  ``dict_index`` /
+    ``pack`` carry the encoding: exactly one is set for an encoded
+    provider, neither for a plain one.
+    """
 
     buffer_index: int
     position: Optional[int]  # None for a 1-D single-column buffer
     dtype: np.dtype
     width: int = 1  # total attributes stored in the providing buffer
+    dict_index: Optional[int] = None
+    pack: Optional[Tuple[int, int]] = None  # (offset, max_code)
+
+    @property
+    def encoding(self) -> Optional[tuple]:
+        """The :class:`~repro.codegen.exprc.Binding` encoding tag."""
+        if self.dict_index is not None:
+            return ("dict", f"buf{self.dict_index}")
+        if self.pack is not None:
+            return ("pack", self.pack[0], self.pack[1])
+        return None
 
 
 def _assign_providers(
     layouts: Sequence[Layout], attrs: Sequence[str]
 ) -> Dict[str, _Provider]:
     """Bind each attribute to its narrowest providing layout."""
+    bases: List[int] = []
+    base = 0
+    for layout in layouts:
+        bases.append(base)
+        base += len(layout.kernel_buffers())
     providers: Dict[str, _Provider] = {}
     for attr in attrs:
         candidates = [
@@ -78,6 +105,22 @@ def _assign_providers(
         if not candidates:
             raise CodegenError(f"no layout provides attribute {attr!r}")
         index, layout = min(candidates, key=lambda pair: pair[1].width)
+        if layout.kind is LayoutKind.ENCODED:
+            dict_index = None
+            pack = None
+            if layout.codec == "dict":
+                dict_index = bases[index] + 1
+            else:
+                pack = (layout.offset, layout.max_code)
+            providers[attr] = _Provider(
+                bases[index],
+                None,
+                layout.value_dtype,
+                layout.width,
+                dict_index=dict_index,
+                pack=pack,
+            )
+            continue
         # A width-1 ColumnGroup is still a 2-D buffer; dimensionality,
         # not width, decides whether a position subscript is needed.
         if layout.data.ndim == 1:
@@ -85,7 +128,9 @@ def _assign_providers(
         else:
             position = layout.index_of(attr)
         dtype = layout.data.dtype  # both concrete layouts expose .data
-        providers[attr] = _Provider(index, position, dtype, layout.width)
+        providers[attr] = _Provider(
+            bases[index], position, dtype, layout.width
+        )
     return providers
 
 
@@ -96,14 +141,24 @@ def _used_buffers(providers: Dict[str, _Provider]) -> List[int]:
 def _emit_prelude(sb: SourceBuilder, providers: Dict[str, _Provider]) -> None:
     """Bind the used buffers to locals and determine the row count.
 
-    Buffers are bound through the kernel's ``lo:hi`` row slice (views,
-    no copies; a row slice of a C-contiguous 2-D buffer stays
+    Row buffers are bound through the kernel's ``lo:hi`` row slice
+    (views, no copies; a row slice of a C-contiguous 2-D buffer stays
     C-contiguous).  With the default ``lo=0, hi=None`` the slice is the
-    whole buffer, so the serial path pays nothing.
+    whole buffer, so the serial path pays nothing.  Side buffers (a
+    dictionary) are row-independent and bound whole.
     """
     used = _used_buffers(providers)
     for index in used:
         sb.line(f"buf{index} = bufs[{index}][lo:hi]")
+    side = sorted(
+        {
+            p.dict_index
+            for p in providers.values()
+            if p.dict_index is not None
+        }
+    )
+    for index in side:
+        sb.line(f"buf{index} = bufs[{index}]")
     first = used[0]
     sb.line(f"n = buf{first}.shape[0]")
 
@@ -317,7 +372,11 @@ def _block_bindings(
         if provider.position is None:
             var = f"{prefix}{position}"
             sb.line(f"{var} = {_slice_source(provider, rows)}")
-            bindings[attr] = Binding(source=var, dtype=provider.dtype)
+            bindings[attr] = Binding(
+                source=var,
+                dtype=provider.dtype,
+                encoding=provider.encoding,
+            )
             continue
         index = provider.buffer_index
         if index not in blocks:
@@ -388,7 +447,9 @@ def _emit_compaction(
             compacted[index] = var
         var = compacted[index]
         if provider.position is None:
-            bindings[attr] = Binding(var, provider.dtype)
+            bindings[attr] = Binding(
+                var, provider.dtype, encoding=provider.encoding
+            )
         else:
             bindings[attr] = Binding(
                 f"{var}[:, {provider.position}]",
@@ -399,15 +460,21 @@ def _emit_compaction(
     return bindings
 
 
-def _columnar_fast_path_applies(info: QueryInfo, slots) -> bool:
+def _columnar_fast_path_applies(
+    info: QueryInfo, slots, providers: Dict[str, _Provider]
+) -> bool:
     """Whole-array axis reductions apply when there is no predicate and
-    every aggregate is SUM/MIN/MAX/AVG/COUNT over a plain column."""
+    every aggregate is SUM/MIN/MAX/AVG/COUNT over a plain column.
+    Encoded providers are excluded — reducing raw codes would be wrong;
+    they take the blocked path, which decodes before accumulating."""
     if info.has_predicate:
         return False
     for slot in slots:
         if slot.func is AggregateFunc.COUNT:
             continue
         if not isinstance(slot.agg.arg, ColumnRef):
+            return False
+        if providers[slot.agg.arg.name].encoding is not None:
             return False
     return True
 
@@ -458,10 +525,15 @@ def _emit_columnar_aggregates(
             needed_per_buffer.setdefault(
                 provider.buffer_index, set()
             ).add(provider.position)
-    widths = {
-        index: plan.layouts[index].width
-        for index in needed_per_buffer
-    }
+    # provider.buffer_index is a *flat* kernel-buffer index, which can
+    # diverge from the layout index once multi-buffer (encoded) layouts
+    # exist — width therefore comes from the provider, not the plan.
+    widths: Dict[int, int] = {}
+    for slot in slots:
+        if slot.func is AggregateFunc.COUNT:
+            continue
+        provider = providers[slot.agg.arg.name]
+        widths[provider.buffer_index] = provider.width
     dense_buffers = {
         index
         for index, positions in needed_per_buffer.items()
@@ -603,7 +675,7 @@ def fused_aggregate_source(
     sb = SourceBuilder()
     with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
-        if _columnar_fast_path_applies(info, slots):
+        if _columnar_fast_path_applies(info, slots, providers):
             _emit_columnar_aggregates(
                 sb, info, slots, providers, params, plan
             )
@@ -823,30 +895,61 @@ def _emit_late_selection(
     info: QueryInfo,
     providers: Dict[str, _Provider],
     params: ParamRegistry,
-) -> bool:
+    count_only: bool = False,
+) -> str:
     """Emit the selection-vector phase (cf. paper Fig. 6).
 
-    Returns True when a selection vector ``sel`` exists afterwards.
-    Column bindings ``c{j}`` for all attributes are emitted first.
+    Returns ``"sel"`` when a selection vector ``sel`` exists afterwards,
+    ``"mask"`` when only a boolean mask ``qmask`` does, ``"none"`` when
+    the query has no predicate.  Column bindings ``c{j}`` for all
+    attributes are emitted first.
+
+    ``count_only`` marks kernels that never gather qualifying rows
+    (COUNT(*)-only aggregations): with a single conjunct the position
+    list would be built just to take its length, so the kernel keeps the
+    boolean mask instead and counts it directly — the dominant
+    ``np.flatnonzero`` pass disappears from the scan.
     """
     for position, attr in enumerate(info.all_attrs):
         provider = providers[attr]
         sb.line(f"c{position} = {_slice_source(provider, ':')}")
     if not info.has_predicate:
-        return False
+        return "none"
     column_index = {attr: i for i, attr in enumerate(info.all_attrs)}
+    predicates = info.query.predicates
+    if count_only and len(predicates) == 1:
+        (conjunct,) = predicates
+        bindings = {
+            attr: Binding(
+                f"c{column_index[attr]}",
+                providers[attr].dtype,
+                encoding=providers[attr].encoding,
+            )
+            for attr in conjunct.columns()
+        }
+        compiler = ExprCompiler(bindings, params, fused=False)
+        mask = compiler.compile_mask(conjunct, sb)
+        sb.line(f"qmask = {mask}")
+        return "mask"
     have_sel = False
-    for conjunct in info.query.predicates:
+    for conjunct in predicates:
         bindings: Dict[str, Binding] = {}
         for attr in sorted(conjunct.columns(), key=column_index.__getitem__):
+            provider = providers[attr]
             base = f"c{column_index[attr]}"
             if have_sel:
-                # Fetch qualifying values into a new intermediate column.
+                # Fetch qualifying values into a new intermediate column
+                # (for an encoded provider these are gathered *codes*;
+                # the compiler filters or decodes them as needed).
                 var = sb.fresh("g")
                 sb.line(f"{var} = {base}[sel]")
-                bindings[attr] = Binding(var, providers[attr].dtype)
+                bindings[attr] = Binding(
+                    var, provider.dtype, encoding=provider.encoding
+                )
             else:
-                bindings[attr] = Binding(base, providers[attr].dtype)
+                bindings[attr] = Binding(
+                    base, provider.dtype, encoding=provider.encoding
+                )
         compiler = ExprCompiler(bindings, params, fused=False)
         mask = compiler.compile_mask(conjunct, sb)
         if have_sel:
@@ -854,7 +957,7 @@ def _emit_late_selection(
         else:
             sb.line(f"sel = np.flatnonzero({mask})")
             have_sel = True
-    return True
+    return "sel"
 
 
 def late_aggregate_source(
@@ -871,22 +974,35 @@ def late_aggregate_source(
     sb = SourceBuilder()
     with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
-        has_sel = _emit_late_selection(sb, info, providers, params)
+        sel_mode = _emit_late_selection(
+            sb, info, providers, params, count_only=not info.select_attrs
+        )
+        has_sel = sel_mode == "sel"
         _emit_agg_init(sb, slots)
-        sb.line(f"cnt = {'int(sel.shape[0])' if has_sel else 'n'}")
+        if sel_mode == "sel":
+            sb.line("cnt = int(sel.shape[0])")
+        elif sel_mode == "mask":
+            sb.line("cnt = int(np.count_nonzero(qmask))")
+        else:
+            sb.line("cnt = n")
         with sb.block("if cnt != 0:"):
             # COUNT(*)-only queries need no gathers or updates; keep the
             # guarded block syntactically valid.
             sb.line("pass")
             bindings: Dict[str, Binding] = {}
             for position, attr in enumerate(info.select_attrs):
+                provider = providers[attr]
                 base = f"c{column_index[attr]}"
                 if has_sel:
                     var = f"q{position}"
                     sb.line(f"{var} = {base}[sel]")
-                    bindings[attr] = Binding(var, providers[attr].dtype)
+                    bindings[attr] = Binding(
+                        var, provider.dtype, encoding=provider.encoding
+                    )
                 else:
-                    bindings[attr] = Binding(base, providers[attr].dtype)
+                    bindings[attr] = Binding(
+                        base, provider.dtype, encoding=provider.encoding
+                    )
             compiler = ExprCompiler(bindings, params, fused=False)
             for slot in slots:
                 _emit_agg_update(sb, slot, compiler, "cnt")
@@ -910,17 +1026,22 @@ def late_project_source(
     sb = SourceBuilder()
     with sb.block(KERNEL_DEF):
         _emit_prelude(sb, providers)
-        has_sel = _emit_late_selection(sb, info, providers, params)
+        has_sel = _emit_late_selection(sb, info, providers, params) == "sel"
         sb.line(f"cnt = {'int(sel.shape[0])' if has_sel else 'n'}")
         bindings: Dict[str, Binding] = {}
         for position, attr in enumerate(info.select_attrs):
+            provider = providers[attr]
             base = f"c{column_index[attr]}"
             if has_sel:
                 var = f"q{position}"
                 sb.line(f"{var} = {base}[sel]")
-                bindings[attr] = Binding(var, providers[attr].dtype)
+                bindings[attr] = Binding(
+                    var, provider.dtype, encoding=provider.encoding
+                )
             else:
-                bindings[attr] = Binding(base, providers[attr].dtype)
+                bindings[attr] = Binding(
+                    base, provider.dtype, encoding=provider.encoding
+                )
         compiler = ExprCompiler(bindings, params, fused=False)
         sb.line(f"out = np.empty((cnt, {num_outputs}), dtype=np.{out_dtype.name})")
         for position, out in enumerate(outputs):

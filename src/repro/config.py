@@ -218,6 +218,25 @@ class EngineConfig:
     #: past the budget, the least-used replicated groups are retired
     #: (attribute coverage is never broken).
     max_table_bytes: int = 0
+    #: Whether the advisor may propose *row reordering*: clustering a
+    #: table on its hottest WHERE attribute during reorganization so
+    #: zone maps over the sorted prefix prune near-perfectly.  Appends
+    #: stay correct by growing an unclustered tail; only the clustered
+    #: prefix earns the pruning discount (``clustered_fraction``).
+    adaptive_clustering: bool = False
+    #: Whether the advisor may propose encoded column layouts
+    #: (dictionary / bit-packed replicas whose kernels filter directly
+    #: on the codes and decode only qualifying rows).
+    encoded_layouts: bool = False
+    #: Tables below this many rows are never clustering candidates
+    #: (a sort of a small table costs more than it will ever save).
+    cluster_rows_min: int = 4096
+    #: Columns below this many rows are never encoding candidates.
+    encoding_min_rows: int = 4096
+    #: Maximum distinct values for dictionary encoding; columns with
+    #: higher cardinality stay plain (or bit-packed when their range
+    #: allows).
+    dict_max_cardinality: int = 4096
     #: Number of shard *processes* a :class:`~repro.sharding.coordinator.
     #: ShardedSystem` partitions each table across; 0 (the default)
     #: disables the sharding tier and the system runs single-process.
@@ -329,6 +348,20 @@ class EngineConfig:
             raise AdaptationError(
                 "selectivity_drift_band must be in (0, 1], got "
                 f"{self.selectivity_drift_band}"
+            )
+        if self.cluster_rows_min < 0:
+            raise AdaptationError(
+                f"cluster_rows_min must be >= 0, got {self.cluster_rows_min}"
+            )
+        if self.encoding_min_rows < 0:
+            raise AdaptationError(
+                f"encoding_min_rows must be >= 0, got "
+                f"{self.encoding_min_rows}"
+            )
+        if self.dict_max_cardinality < 2:
+            raise AdaptationError(
+                f"dict_max_cardinality must be >= 2, got "
+                f"{self.dict_max_cardinality}"
             )
         if self.shard_count < 0:
             raise AdaptationError(

@@ -60,6 +60,10 @@ class LedgerEntry:
     """Running debt/benefit account for one candidate layout."""
 
     attrs: Tuple[str, ...]
+    #: Candidate kind ("group" | "cluster" | "encode") — part of the
+    #: ledger identity so a cluster proposal and a group over the same
+    #: attributes keep separate accounts.
+    kind: str = "group"
     #: Cumulative estimated benefit (Eq. 2 delta per covered query).
     accrued: float = 0.0
     #: Latest projected build cost (advisor estimate, refreshed on
@@ -75,6 +79,7 @@ class LedgerEntry:
     def as_dict(self) -> Dict[str, object]:
         return {
             "attrs": list(self.attrs),
+            "kind": self.kind,
             "accrued": self.accrued,
             "projected_cost": self.projected_cost,
             "observations": self.observations,
@@ -164,7 +169,7 @@ class AdaptationPolicy:
         self, candidate: CandidateLayout, query_index: int
     ) -> None:
         """Record that ``candidate`` was actually built."""
-        entry = self.ledger.pop(candidate.attr_set, None)
+        entry = self.ledger.pop(candidate.ledger_key, None)
         accrued = entry.accrued if entry is not None else 0.0
         self._record_switch(
             SwitchRecord(
@@ -262,8 +267,15 @@ class AdaptationPolicy:
                 if not isinstance(attrs, (list, tuple)) or not attrs:
                     continue
                 attrs = tuple(str(a) for a in attrs)
-                self.ledger[frozenset(attrs)] = LedgerEntry(
+                kind = str(raw.get("kind", "group"))
+                key = (
+                    frozenset(attrs)
+                    if kind == "group"
+                    else (kind,) + attrs
+                )
+                self.ledger[key] = LedgerEntry(
                     attrs=attrs,
+                    kind=kind,
                     accrued=_as_float(raw.get("accrued")),
                     projected_cost=_as_float(raw.get("projected_cost")),
                     observations=_as_int(raw.get("observations")),
@@ -302,15 +314,17 @@ class GuardedPolicy(AdaptationPolicy):
         self.hedging_factor = config.hedging_factor
 
     def _entry(self, candidate: CandidateLayout) -> LedgerEntry:
-        entry = self.ledger.get(candidate.attr_set)
+        entry = self.ledger.get(candidate.ledger_key)
         if entry is None:
             if len(self.ledger) >= MAX_LEDGER_ENTRIES:
                 coldest = min(
                     self.ledger, key=lambda k: self.ledger[k].accrued
                 )
                 del self.ledger[coldest]
-            entry = LedgerEntry(attrs=tuple(candidate.attrs))
-            self.ledger[candidate.attr_set] = entry
+            entry = LedgerEntry(
+                attrs=tuple(candidate.attrs), kind=candidate.kind
+            )
+            self.ledger[candidate.ledger_key] = entry
         return entry
 
     def _gate_open(
@@ -356,7 +370,7 @@ class GuardedPolicy(AdaptationPolicy):
         return False
 
     def would_allow(self, candidate: CandidateLayout) -> bool:
-        entry = self.ledger.get(candidate.attr_set)
+        entry = self.ledger.get(candidate.ledger_key)
         accrued = entry.accrued if entry is not None else 0.0
         return accrued >= self.hedging_factor * candidate.build_cost
 

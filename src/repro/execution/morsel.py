@@ -32,7 +32,7 @@ import numpy as np
 from ..config import EngineConfig
 from ..sql.analyzer import QueryInfo
 from ..sql.expressions import AggregateFunc
-from ..storage.layout import Layout
+from ..storage.layout import Layout, flatten_kernel_buffers
 from ..storage.zonemap import (
     conjunct_bounds,
     ensure_attr_stats,
@@ -215,7 +215,7 @@ def run_generated_morsels(
     deadline_check: DeadlineCheck = None,
 ) -> MorselOutcome:
     """Execute a compiled kernel morsel-at-a-time over ``layouts``."""
-    buffers = tuple(layout.data for layout in layouts)
+    buffers = flatten_kernel_buffers(layouts)
     names = [out.name for out in info.query.select]
     count = len(mp.ranges)
     results: List[object] = [None] * count

@@ -62,6 +62,7 @@ def render_metrics(
     store_stats: Mapping[str, object],
     health_status: str,
     batcher_stats: Mapping[str, int],
+    engine_stats: Mapping[str, Mapping[str, object]] = {},
 ) -> str:
     """The whole ``/metrics`` document as one string."""
     out = MetricsRenderer()
@@ -196,5 +197,42 @@ def render_metrics(
         "gauge",
         "Registered tables.",
         [({}, int(store_stats.get("tables", 0)))],
+    )
+
+    out.family(
+        "h2o_scan_morsels_total",
+        "counter",
+        "Morsels considered by zone-map pruning, per table engine.",
+        (
+            ({"table": name}, int(stats.get("morsels_total", 0)))
+            for name, stats in sorted(engine_stats.items())
+        ),
+    )
+    out.family(
+        "h2o_scan_morsels_pruned_total",
+        "counter",
+        "Morsels skipped by zone-map pruning, per table engine.",
+        (
+            ({"table": name}, int(stats.get("morsels_pruned", 0)))
+            for name, stats in sorted(engine_stats.items())
+        ),
+    )
+    out.family(
+        "h2o_table_pruned_fraction",
+        "gauge",
+        "Cumulative fraction of morsels pruned (1.0 = perfect).",
+        (
+            ({"table": name}, float(stats.get("pruned_fraction", 0.0)))
+            for name, stats in sorted(engine_stats.items())
+        ),
+    )
+    out.family(
+        "h2o_table_clustered_fraction",
+        "gauge",
+        "Fraction of rows inside the clustered prefix (0 = unclustered).",
+        (
+            ({"table": name}, float(stats.get("clustered_fraction", 0.0)))
+            for name, stats in sorted(engine_stats.items())
+        ),
     )
     return out.render()

@@ -514,6 +514,12 @@ class Gateway:
                 store_stats=self.store.stats(),
                 health_status=self.store.service.health().status,
                 batcher_stats=self.batcher.stats(),
+                # Engines are created on first query; tables never
+                # queried have no pruning story to report yet.
+                engine_stats={
+                    engine.table.name: engine.stats()
+                    for engine in self.store.system.engines()
+                },
             )
 
         text = await loop.run_in_executor(self._executor, collect)

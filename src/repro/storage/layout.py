@@ -19,11 +19,13 @@ from ..errors import LayoutError
 
 
 class LayoutKind(enum.Enum):
-    """The three layout families of the paper (section 3.1)."""
+    """The three layout families of the paper (section 3.1), plus the
+    encoded (dictionary / bit-packed) family added on top of it."""
 
     ROW = "row"
     COLUMN = "column"
     GROUP = "group"
+    ENCODED = "encoded"
 
 
 class Layout(abc.ABC):
@@ -87,6 +89,17 @@ class Layout(abc.ABC):
                 f"({self.describe()})"
             ) from None
 
+    def kernel_buffers(self) -> Tuple[np.ndarray, ...]:
+        """Arrays a generated kernel binds for this layout.
+
+        Plain layouts expose their single backing array; encoded layouts
+        add side buffers (e.g. the dictionary).  The first buffer is
+        always the per-row scan target — the one a morsel ``[lo:hi]``
+        slice applies to; any further buffers are row-independent and
+        passed whole.
+        """
+        return (self.data,)  # type: ignore[attr-defined]
+
     @abc.abstractmethod
     def describe(self) -> str:
         """Short human-readable identification for errors and reports."""
@@ -97,3 +110,16 @@ class Layout(abc.ABC):
             raise LayoutError(f"block_rows must be positive: {block_rows}")
         for start in range(0, self.num_rows, block_rows):
             yield start, min(start + block_rows, self.num_rows)
+
+
+def flatten_kernel_buffers(layouts) -> Tuple[np.ndarray, ...]:
+    """Flattened kernel buffers of every layout of a plan, in order.
+
+    Generated kernels bind one flat ``bufs`` tuple; each layout
+    contributes ``layout.kernel_buffers()`` at a base index computed by
+    the template planner, so plain and encoded layouts mix freely.
+    """
+    flat = []
+    for layout in layouts:
+        flat.extend(layout.kernel_buffers())
+    return tuple(flat)

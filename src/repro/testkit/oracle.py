@@ -1,7 +1,7 @@
 """The differential oracle: adaptation must be invisible in answers.
 
 One generated :class:`~repro.testkit.generate.CaseSpec` is executed
-through nine independent paths, each over its *own* copy of the same
+through ten independent paths, each over its *own* copy of the same
 deterministic data:
 
 1. **row reference** — the static row-store baseline, interpreted
@@ -35,7 +35,20 @@ deterministic data:
    docs/adaptation.md): materializations may be *deferred* but answers
    must stay bit-identical, and the policy's regret invariant
    (hedged reorganization spend never exceeds accrued benefit at
-   switch) must hold at the end of the sequence.
+   switch) must hold at the end of the sequence;
+10. **adaptive clustered+encoded** — the full engine with adaptive
+    clustering *and* encoded column layouts enabled
+    (``adaptive_clustering=True, encoded_layouts=True`` with tiny
+    row minimums so even small cases cluster and encode): the
+    reorganizer may permute the table's physical row order and add
+    dictionary/bit-packed replicas mid-sequence.  Aggregations must
+    stay bit-identical; projections are compared as *multisets*
+    (canonical row sort on both sides — SQL semantics don't fix row
+    order, and clustering legitimately changes it).  After the
+    sequence the oracle re-derives every cached zone map from the
+    layout's decoded values and asserts **exact** equality (clustering
+    must never leave stale or merely-conservative bounds behind), and
+    the physical + policy-ledger invariants must hold throughout.
 
 The module also hosts the **scenario-replay oracle**
 (:func:`scenario_case` / :func:`run_all_scenarios`, exposed as
@@ -103,6 +116,7 @@ CLEAN_MODES = (
     "adaptive-parallel",
     "adaptive-sharded",
     "adaptive-guarded",
+    "adaptive-clustered-encoded",
 )
 
 
@@ -146,6 +160,43 @@ def results_identical(a: QueryResult, b: QueryResult) -> bool:
     mine = np.asarray(a.data, dtype=np.float64)
     theirs = np.asarray(b.data, dtype=np.float64)
     return bool(np.array_equal(mine, theirs, equal_nan=True))
+
+
+def _canonical_rows(data: np.ndarray) -> np.ndarray:
+    """Rows sorted into a canonical order for multiset comparison.
+
+    Sorts on the float64 *bit patterns* (last column least significant)
+    so NaN payloads and -0.0 vs +0.0 land deterministically — two
+    multiset-equal results canonicalize to bit-identical arrays.
+    """
+    rows = np.ascontiguousarray(data, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(-1, 1)
+    bits = rows.view(np.int64)
+    if bits.shape[0] <= 1:
+        return bits
+    order = np.lexsort(tuple(bits[:, j] for j in range(bits.shape[1] - 1, -1, -1)))
+    return bits[order]
+
+
+def results_multiset_identical(a: QueryResult, b: QueryResult) -> bool:
+    """Bit-identical as *row multisets* (SQL semantics for projections).
+
+    Adaptive clustering permutes the table's physical row order, so a
+    projection's rows may come back in a different — equally valid —
+    order.  Both sides are canonically sorted before the bit-exact
+    compare, which keeps the check as strong as
+    :func:`results_identical` on everything except row order.
+    """
+    if a.column_names != b.column_names:
+        return False
+    if a.data.shape != b.data.shape:
+        return False
+    # Canonical rows are int64 bit views: plain equality is bit-exact
+    # (each NaN payload only equals itself, -0.0 never equals +0.0).
+    mine = _canonical_rows(a.data)
+    theirs = _canonical_rows(b.data)
+    return bool(np.array_equal(mine, theirs))
 
 
 def _describe_divergence(
@@ -196,6 +247,70 @@ def check_engine_invariants(
                 f"the cached source"
             )
     return snapshot.epoch
+
+
+def check_zone_map_exactness(engine: H2OEngine, label: str) -> None:
+    """Every cached zone map must match a from-scratch recompute exactly.
+
+    Clustering rebuilds zone maps eagerly after permuting rows and
+    encoded replicas build theirs over *decoded* values; either path
+    leaving stale or merely-conservative bounds behind would silently
+    weaken pruning (or worse, prune a qualifying morsel).  Recomputing
+    per-morsel min/max from ``layout.column(attr)`` and demanding exact
+    equality catches both directions.
+    """
+    from ..storage.zonemap import _minmax_per_morsel, cached_zone_maps
+
+    snapshot = engine.table.snapshot()
+    for layout in snapshot.layouts:
+        maps = cached_zone_maps(layout)
+        if maps is None:
+            continue
+        if maps.num_rows != layout.num_rows:
+            raise OracleFailure(
+                f"[{label}] stale zone map on {layout.describe()}: maps "
+                f"cover {maps.num_rows} rows, layout has {layout.num_rows}"
+            )
+        for attr in maps.attrs:
+            mins, maxs = maps.stats_for(attr)
+            true_mins, true_maxs = _minmax_per_morsel(
+                layout.column(attr), maps.morsel_rows
+            )
+            if not (
+                np.array_equal(
+                    np.asarray(mins, dtype=np.float64),
+                    np.asarray(true_mins, dtype=np.float64),
+                    equal_nan=True,
+                )
+                and np.array_equal(
+                    np.asarray(maxs, dtype=np.float64),
+                    np.asarray(true_maxs, dtype=np.float64),
+                    equal_nan=True,
+                )
+            ):
+                raise OracleFailure(
+                    f"[{label}] zone map for {attr!r} on "
+                    f"{layout.describe()} is not exact after adaptation"
+                )
+
+
+def check_cluster_telemetry(engine: H2OEngine, label: str) -> None:
+    """``clustered_fraction`` must be honest bookkeeping."""
+    table = engine.table
+    fraction = table.clustered_fraction
+    if not (0.0 <= fraction <= 1.0):
+        raise OracleFailure(
+            f"[{label}] clustered_fraction out of range: {fraction}"
+        )
+    if table.cluster_key is None and fraction != 0.0:
+        raise OracleFailure(
+            f"[{label}] no cluster key but clustered_fraction={fraction}"
+        )
+    if table.clustered_rows > table.num_rows:
+        raise OracleFailure(
+            f"[{label}] clustered_rows {table.clustered_rows} exceeds "
+            f"table rows {table.num_rows}"
+        )
 
 
 def check_policy_invariants(engine: H2OEngine, label: str) -> None:
@@ -289,6 +404,7 @@ class DifferentialOracle:
         self._run_adaptive_parallel(spec, expected)
         self._run_sharded(spec, expected)
         self._run_adaptive_guarded(spec, expected)
+        self._run_adaptive_clustered_encoded(spec, expected)
         outcome.queries_checked = len(expected) * (len(CLEAN_MODES) + 1)
         if self.with_faults:
             fired_inline = self._run_faulted_inline(spec, expected)
@@ -501,6 +617,59 @@ class DifferentialOracle:
                     )
                 )
             epoch = check_engine_invariants(engine, epoch, mode)
+        check_policy_invariants(engine, mode)
+
+    def _run_adaptive_clustered_encoded(
+        self, spec: CaseSpec, expected: Sequence[QueryResult]
+    ) -> None:
+        """The tenth path: adaptive clustering + encoded layouts.
+
+        Same adaptive knobs as ``adaptive-inline`` plus
+        ``adaptive_clustering`` and ``encoded_layouts`` with tiny row
+        minimums, so even small oracle cases trigger physical
+        transforms that *permute row order* and add dictionary /
+        bit-packed replicas mid-sequence.  Aggregations must stay
+        bit-identical to the row reference; projections are compared
+        as canonical-sorted multisets (row order is not part of SQL
+        semantics, and clustering legitimately changes it).  After the
+        sequence: zone maps must recompute exactly, clustering
+        telemetry must be honest, and the switch ledger must balance
+        against the layouts/transforms actually built.
+        """
+        mode = "adaptive-clustered-encoded"
+        engine = H2OEngine(
+            spec.build_table(),
+            self._adaptive_config(
+                adaptive_clustering=True,
+                encoded_layouts=True,
+                cluster_rows_min=64,
+                encoding_min_rows=64,
+            ),
+        )
+        epoch = 0
+        queries = spec.parsed()
+        for index, query in enumerate(queries):
+            report = engine.execute(query)
+            same = (
+                results_identical(report.result, expected[index])
+                if query.is_aggregation
+                else results_multiset_identical(
+                    report.result, expected[index]
+                )
+            )
+            if not same:
+                raise OracleFailure(
+                    _describe_divergence(
+                        index,
+                        spec.queries[index],
+                        report.result,
+                        expected[index],
+                        mode,
+                    )
+                )
+            epoch = check_engine_invariants(engine, epoch, mode)
+        check_zone_map_exactness(engine, mode)
+        check_cluster_telemetry(engine, mode)
         check_policy_invariants(engine, mode)
 
     def _run_service(

@@ -1,0 +1,283 @@
+"""Encoded column layouts: codec round-trips and scan equivalence.
+
+Property-based contracts (the ``test_io_roundtrip.py`` discipline):
+
+- **decode round-trip** — ``encode_column`` then ``column()`` is
+  bit-exact for int64 and float64, including NaN payloads, ``-0.0`` vs
+  ``+0.0``, and infinities (float arrays compare by bit pattern);
+- **encode -> filter -> decode** — every comparison operator evaluated
+  by the compiled engine over an encoded replica answers bit-identically
+  to the plain column path, for both codec families;
+- **append re-encode** — ``extended()`` stays bit-exact and keeps the
+  codec family.
+
+Plus deterministic codec-selection and contract edge cases.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import EngineConfig
+from repro.core.engine import H2OEngine
+from repro.errors import LayoutError
+from repro.storage import Schema, Table
+from repro.storage.encoded_layout import (
+    BitPackedColumn,
+    DictEncodedColumn,
+    encode_column,
+)
+
+#: Special float64 values the bit-exactness bar is really about.
+SPECIAL_FLOATS = (
+    0.0,
+    -0.0,
+    np.nan,
+    np.inf,
+    -np.inf,
+    1.5,
+    -1.5,
+    2.0**-1022,  # smallest normal
+    5e-324,  # subnormal
+)
+
+
+@st.composite
+def int_columns(draw):
+    """int64 arrays across pack/dict/none codec regimes."""
+    num_rows = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    low = draw(st.integers(min_value=-(2**40), max_value=2**40))
+    span = draw(
+        st.sampled_from([1, 7, 200, 60_000, 70_000, 2**33, 2**50])
+    )
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, low + span, size=num_rows, dtype=np.int64)
+
+
+@st.composite
+def float_columns(draw):
+    """float64 arrays biased toward the nasty special values."""
+    num_rows = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    pool = np.asarray(SPECIAL_FLOATS, dtype=np.float64)
+    values = pool[rng.integers(0, pool.shape[0], size=num_rows)]
+    # Mix in ordinary values so dictionaries are not all-special.
+    ordinary = rng.integers(-500, 500, size=num_rows).astype(np.float64)
+    take = rng.random(num_rows) < 0.5
+    return np.where(take, values, ordinary)
+
+
+def _bits(values: np.ndarray) -> np.ndarray:
+    if values.dtype == np.float64:
+        return np.ascontiguousarray(values).view(np.int64)
+    return values
+
+
+@given(int_columns())
+@settings(max_examples=80, deadline=None)
+def test_int_roundtrip_bit_exact(values):
+    encoded = encode_column("x", values)
+    if encoded is None:
+        return  # no codec shrinks this column; nothing to verify
+    assert np.array_equal(encoded.column("x"), values)
+    assert encoded.column("x").dtype == np.int64
+    assert encoded.num_rows == values.shape[0]
+    # The per-value scan cost always shrinks (total nbytes may not on
+    # tiny columns — the dictionary side buffer is amortized over rows,
+    # which is why the advisor gates on ``encoding_min_rows``).
+    assert encoded.scan_bytes_per_value < values.dtype.itemsize
+
+
+@given(float_columns())
+@settings(max_examples=80, deadline=None)
+def test_float_roundtrip_bit_exact(values):
+    encoded = encode_column("x", values)
+    if encoded is None:
+        return
+    assert isinstance(encoded, DictEncodedColumn)
+    decoded = encoded.column("x")
+    assert np.array_equal(_bits(decoded), _bits(values))
+    # The dictionary holds each distinct bit pattern exactly once,
+    # sorted (isnan, value, bits): -0.0 immediately before +0.0, NaNs
+    # last with payloads preserved.
+    dic = encoded.dictionary
+    assert len(np.unique(_bits(dic))) == dic.shape[0]
+    finite = dic[~np.isnan(dic)]
+    assert np.array_equal(finite, np.sort(finite))
+
+
+_FILTER_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+def _scan_pair(values, literal, op, payload_rng):
+    """(plain answer, encoded answer) for one filtered projection+agg."""
+    payload = payload_rng.integers(-1000, 1000, values.shape[0]).astype(
+        np.int64
+    )
+    schema = Schema.from_names(("x", "p"))
+    sql = (
+        f"SELECT sum(p), count(*) FROM r WHERE x {op} {literal}"
+    )
+    answers = []
+    for with_replica in (False, True):
+        table = Table.from_columns(
+            "r", schema, {"x": values.copy(), "p": payload.copy()}, "column"
+        )
+        if with_replica:
+            replica = encode_column("x", table.column("x"))
+            if replica is None:
+                return None  # nothing to compare
+            table.add_layout(replica)
+        engine = H2OEngine(
+            table,
+            EngineConfig(
+                window_size=10**6, max_window=10**6, dynamic_window=False
+            ),
+        )
+        result = engine.execute(sql).result
+        answers.append(_bits(np.asarray(result.data)).tobytes())
+    return answers
+
+
+@given(
+    int_columns(),
+    st.integers(min_value=-(2**41), max_value=2**41),
+    st.sampled_from(_FILTER_OPS),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_int_encode_filter_decode(values, literal, op, payload_seed):
+    pair = _scan_pair(
+        values, literal, op, np.random.default_rng(payload_seed)
+    )
+    if pair is None:
+        return
+    assert pair[0] == pair[1]
+
+
+@given(
+    float_columns(),
+    st.sampled_from((0.0, -0.0, 1.5, -1.5, 0.25, 500.0, -500.0, 3.0)),
+    st.sampled_from(_FILTER_OPS),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_float_encode_filter_decode(values, literal, op, payload_seed):
+    pair = _scan_pair(
+        values, literal, op, np.random.default_rng(payload_seed)
+    )
+    if pair is None:
+        return
+    assert pair[0] == pair[1]
+
+
+@given(int_columns(), int_columns())
+@settings(max_examples=40, deadline=None)
+def test_extended_reencodes_bit_exact(values, extra):
+    encoded = encode_column("x", values)
+    if encoded is None:
+        return
+    try:
+        grown = encoded.extended({"x": extra})
+    except LayoutError:
+        # The appended values outgrew the codec family; the table-level
+        # contract (drop the replica) is covered below.
+        return
+    assert grown.codec == encoded.codec
+    assert np.array_equal(
+        grown.column("x"), np.concatenate([values, extra])
+    )
+
+
+def test_append_outgrowing_codec_drops_replica():
+    """An append no codec can represent must not fail the append."""
+    schema = Schema.from_names(("x",))
+    table = Table.from_columns(
+        "r", schema, {"x": np.arange(100, dtype=np.int64)}, "column"
+    )
+    replica = encode_column("x", table.column("x"), force="pack")
+    table.add_layout(replica)
+    assert any(
+        layout.kind.value == "encoded" for layout in table.layouts
+    )
+    # Span beyond uint32: pack cannot re-encode; dict is not forced.
+    table.append_rows({"x": np.asarray([2**61], dtype=np.int64)})
+    assert table.num_rows == 101
+    assert not any(
+        layout.kind.value == "encoded" for layout in table.layouts
+    )
+    assert table.column("x")[-1] == 2**61
+
+
+@given(float_columns(), float_columns())
+@settings(max_examples=40, deadline=None)
+def test_extended_float_reencodes_bit_exact(values, extra):
+    encoded = encode_column("x", values)
+    if encoded is None:
+        return
+    grown = encoded.extended({"x": extra})
+    assert np.array_equal(
+        _bits(grown.column("x")), _bits(np.concatenate([values, extra]))
+    )
+
+
+# Deterministic codec-selection and contract edges ---------------------------
+
+
+def test_codec_selection():
+    narrow = np.arange(200, dtype=np.int64) + 10**12
+    packed = encode_column("x", narrow)
+    assert isinstance(packed, BitPackedColumn)
+    assert packed.codes.dtype == np.uint8
+    assert packed.offset == 10**12
+
+    wide_low_card = np.repeat(
+        np.asarray([-(10**12), 0, 10**12], dtype=np.int64), 50
+    )
+    dictionary = encode_column("x", wide_low_card)
+    assert isinstance(dictionary, DictEncodedColumn)
+    assert dictionary.cardinality == 3
+
+    # High-cardinality wide ints still pack into 32 bits when the span
+    # allows; a full-range column refuses to encode.
+    span32 = np.random.default_rng(0).integers(
+        0, 2**31, size=8192, dtype=np.int64
+    )
+    pack32 = encode_column("x", span32)
+    assert isinstance(pack32, BitPackedColumn)
+    assert pack32.codes.dtype == np.uint32
+
+    full_range = np.random.default_rng(0).integers(
+        -(2**62), 2**62, size=8192, dtype=np.int64
+    )
+    assert encode_column("x", full_range) is None
+
+    assert encode_column("x", np.empty(0, dtype=np.int64)) is None
+
+
+def test_force_codec_and_float_pack_rejected():
+    values = np.arange(10_000, dtype=np.int64)
+    forced = encode_column(
+        "x", values, dict_max_cardinality=np.inf, force="dict"
+    )
+    assert isinstance(forced, DictEncodedColumn)
+    with pytest.raises(LayoutError):
+        encode_column("x", np.zeros(4, dtype=np.float64), force="pack")
+
+
+def test_kernel_buffer_and_signature_contract():
+    values = np.asarray([3, 1, 3, 7], dtype=np.int64)
+    packed = encode_column("x", values, force="pack")
+    assert len(packed.kernel_buffers()) == 1
+    assert packed.encoding_signature()[0] == "pack"
+    # offset/max_code are burned into generated source, so they must be
+    # part of the cache identity.
+    assert packed.offset in packed.encoding_signature()
+
+    dic = encode_column("x", values, force="dict")
+    codes, dictionary = dic.kernel_buffers()
+    assert np.array_equal(dictionary.take(codes), values)
+    assert dic.encoding_signature() == ("dict", "uint8", "int64")

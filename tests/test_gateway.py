@@ -276,6 +276,11 @@ def test_metrics_exposition(client):
     assert "h2o_wal_records_total" in text
     assert 'tenant="public"' in text
     assert "h2o_store_tables 1" in text
+    # the queried table's engine exports its pruning/clustering story
+    assert 'h2o_scan_morsels_total{table="t"}' in text
+    assert 'h2o_scan_morsels_pruned_total{table="t"}' in text
+    assert 'h2o_table_pruned_fraction{table="t"}' in text
+    assert 'h2o_table_clustered_fraction{table="t"} 0' in text
     # every exposed family is well-formed: HELP/TYPE precede samples
     for line in text.splitlines():
         assert line.startswith("#") or " " in line
